@@ -1,0 +1,38 @@
+// Command nmapprofile runs the offline NMAP threshold profiling of §4.2
+// for a workload profile and prints the derived NI_TH and CU_TH.
+//
+// Usage:
+//
+//	nmapprofile [-app memcached|nginx] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nmapsim/internal/experiments"
+	"nmapsim/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", "memcached", "workload profile: memcached or nginx")
+	seed := flag.Uint64("seed", 1001, "profiling run seed")
+	flag.Parse()
+
+	var prof *workload.Profile
+	switch *app {
+	case "memcached":
+		prof = workload.Memcached()
+	case "nginx":
+		prof = workload.Nginx()
+	default:
+		fmt.Fprintf(os.Stderr, "nmapprofile: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+	th := experiments.ProfiledThresholds(prof, *seed)
+	fmt.Printf("profile: %s (SLO %.1fms, profiling load %.0f RPS)\n",
+		prof.Name, prof.SLO.Millis(), prof.HighRPS)
+	fmt.Printf("NI_TH = %.0f polling-mode packets per decision window\n", th.NITh)
+	fmt.Printf("CU_TH = %.3f polling-to-interrupt packet ratio\n", th.CUTh)
+}

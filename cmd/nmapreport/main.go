@@ -1,0 +1,90 @@
+// Command nmapreport runs a policy × load matrix and writes the results
+// as JSON records (experiments.Record) for archiving or plotting with
+// external tools. Multiple seeds per cell give run-to-run confidence.
+//
+// Usage:
+//
+//	nmapreport [-app memcached|nginx|both] [-policies p1,p2,...]
+//	           [-seeds N] [-dur MS] [-cdf] [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nmapsim/internal/experiments"
+	"nmapsim/internal/server"
+	"nmapsim/internal/sim"
+	"nmapsim/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", "both", "memcached, nginx or both")
+	policies := flag.String("policies", "ondemand,performance,nmap", "comma-separated policy list")
+	idle := flag.String("idle", "menu", "idle policy")
+	seeds := flag.Int("seeds", 3, "seeds per cell")
+	durMS := flag.Int("dur", 500, "measured window per run, milliseconds")
+	withCDF := flag.Bool("cdf", false, "include latency CDFs in the records")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var profs []*workload.Profile
+	switch *app {
+	case "memcached":
+		profs = []*workload.Profile{workload.Memcached()}
+	case "nginx":
+		profs = []*workload.Profile{workload.Nginx()}
+	case "both":
+		profs = workload.Profiles()
+	default:
+		fmt.Fprintf(os.Stderr, "nmapreport: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+
+	var records []experiments.Record
+	for _, prof := range profs {
+		for _, lvl := range workload.Levels {
+			for _, pol := range strings.Split(*policies, ",") {
+				pol = strings.TrimSpace(pol)
+				for s := 0; s < *seeds; s++ {
+					spec := experiments.Spec{
+						Policy: pol,
+						Idle:   *idle,
+						Cfg: server.Config{
+							Seed:     42 + uint64(s),
+							Profile:  prof,
+							Level:    lvl,
+							Warmup:   200 * sim.Millisecond,
+							Duration: sim.Duration(*durMS) * sim.Millisecond,
+						},
+					}
+					res, err := experiments.Run(spec)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "nmapreport: %v\n", err)
+						os.Exit(1)
+					}
+					records = append(records, experiments.NewRecord(spec, res, *withCDF))
+					fmt.Fprintf(os.Stderr, "done %s/%s/%s seed=%d p99=%.3fms\n",
+						prof.Name, lvl, pol, 42+s, res.Summary.P99.Millis())
+				}
+			}
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nmapreport: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := experiments.WriteJSON(w, records); err != nil {
+		fmt.Fprintf(os.Stderr, "nmapreport: %v\n", err)
+		os.Exit(1)
+	}
+}

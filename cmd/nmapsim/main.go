@@ -1,0 +1,161 @@
+// Command nmapsim runs the NMAP-reproduction experiment harness: one
+// sub-command per table/figure of the paper's evaluation, plus the
+// ablations described in DESIGN.md.
+//
+// Usage:
+//
+//	nmapsim [-quick] <experiment>
+//	nmapsim -list
+//
+// Experiments: fig2 fig3 fig4 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+// fig14 fig15 fig16 table1 table2 ablation-perrequest
+// ablation-thresholds ablation-chipwide all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nmapsim/internal/experiments"
+)
+
+var quick = flag.Bool("quick", false, "use short measurement windows (smoke-test quality)")
+var list = flag.Bool("list", false, "list available experiments")
+
+type experiment struct {
+	name, desc string
+	run        func(q experiments.Quality)
+}
+
+func q2() experiments.Quality {
+	if *quick {
+		return experiments.Quick
+	}
+	return experiments.Full
+}
+
+var catalog = []experiment{
+	{"table1", "re-transition latency, 4 CPUs x 6 transitions (10,000 reps)", func(q experiments.Quality) {
+		reps := 10000
+		if q == experiments.Quick {
+			reps = 500
+		}
+		fmt.Println(experiments.RenderTable1(experiments.Table1(reps)))
+	}},
+	{"table2", "C-state wake-up latency, 4 CPUs x 2 states (100 reps)", func(q experiments.Quality) {
+		fmt.Println(experiments.RenderTable2(experiments.Table2(100)))
+	}},
+	{"fig2", "NAPI mode split + ondemand P-state trace at high load", func(q experiments.Quality) {
+		fmt.Println(experiments.RenderTraceFigures("Fig 2: ondemand governor, high load", experiments.Fig2(q)))
+	}},
+	{"fig3", "per-request latency over 0.5s, ondemand vs performance", runFig34},
+	{"fig4", "response-time CDFs, ondemand vs performance", runFig34},
+	{"fig7", "CC6 entries and packet split under menu (low vs high load)", func(q experiments.Quality) {
+		fmt.Println(experiments.RenderTraceFigures("Fig 7: menu governor sleep behaviour (performance governor)", experiments.Fig7(q)))
+	}},
+	{"fig8", "latency-load curve + energy for menu/disable/c6only", func(q experiments.Quality) {
+		fmt.Println(experiments.RenderFig8(experiments.Fig8(q)))
+	}},
+	{"fig9", "NAPI mode split + NMAP P-state trace at high load", func(q experiments.Quality) {
+		fmt.Println(experiments.RenderTraceFigures("Fig 9: NMAP, high load", experiments.Fig9(q)))
+	}},
+	{"fig10", "per-request latency over 0.5s under NMAP", runFig1011},
+	{"fig11", "response-time CDFs under NMAP", runFig1011},
+	{"fig12", "P99 matrix: 5 V/F policies x 3 sleep policies x 3 loads x 2 apps", runFig1213},
+	{"fig13", "energy matrix for the same configurations", runFig1213},
+	{"fig14", "P99 vs state-of-the-art (NCAP, NCAP-menu)", runFig1415},
+	{"fig15", "energy vs state-of-the-art (NCAP, NCAP-menu)", runFig1415},
+	{"fig16", "randomly switching load: NMAP vs Parties", func(q experiments.Quality) {
+		fmt.Println(experiments.RenderFig16(experiments.Fig16(q)))
+	}},
+	{"ablation-perrequest", "per-request DVFS vs NMAP under re-transition latency (5.1)", func(q experiments.Quality) {
+		fmt.Println(experiments.RenderAblation("Ablation: per-request DVFS pays the re-transition latency",
+			experiments.AblationPerRequest(q)))
+	}},
+	{"ablation-thresholds", "NI_TH sensitivity sweep", func(q experiments.Quality) {
+		fmt.Println(experiments.RenderAblation("Ablation: NI_TH sensitivity (memcached, high load)",
+			experiments.AblationThresholds(q)))
+	}},
+	{"ablation-chipwide", "per-core vs chip-wide NMAP", func(q experiments.Quality) {
+		fmt.Println(experiments.RenderAblation("Ablation: per-core vs chip-wide NMAP (memcached, medium load)",
+			experiments.AblationChipWide(q)))
+	}},
+	{"ablation-extensions", "future-work extensions: online tuning, sleep integration", func(q experiments.Quality) {
+		fmt.Println(experiments.RenderAblation("Ablation: NMAP future-work extensions (memcached, high load)",
+			experiments.AblationExtensions(q)))
+	}},
+	{"ablation-rss", "per-core vs chip-wide NMAP under lumpy RSS", func(q experiments.Quality) {
+		fmt.Println(experiments.RenderAblation("Ablation: RSS imbalance and per-core DVFS (memcached, medium load)",
+			experiments.AblationRSS(q)))
+	}},
+	{"ablation-itr", "NIC interrupt-throttle period sensitivity", func(q experiments.Quality) {
+		fmt.Println(experiments.RenderAblation("Ablation: ITR period sensitivity (memcached, high load, NMAP)",
+			experiments.AblationITR(q)))
+	}},
+	{"ablation-microslo", "sleep states vs a 90µs SLO (the §8 outlook)", func(q experiments.Quality) {
+		cells := experiments.AblationMicroSLO(q)
+		fmt.Println("== Ablation: sleep states against a 90µs SLO (µs-scale service) ==")
+		fmt.Printf("%-14s %-9s %10s %9s %10s\n", "policy", "idle", "p99(µs)", "violated", "energy(J)")
+		for _, c := range cells {
+			fmt.Printf("%-14s %-9s %10.1f %9v %10.1f\n",
+				c.Policy, c.Idle, c.P99.Micros(), c.Violated, c.EnergyJ)
+		}
+		fmt.Println()
+	}},
+}
+
+func runFig34(q experiments.Quality) {
+	fmt.Println(experiments.RenderLatencyFigures("Figs 3+4: ondemand vs performance, high load", experiments.Fig3And4(q)))
+}
+
+func runFig1011(q experiments.Quality) {
+	fmt.Println(experiments.RenderLatencyFigures("Figs 10+11: NMAP, high load", experiments.Fig10And11(q)))
+}
+
+func runFig1213(q experiments.Quality) {
+	fmt.Println(experiments.RenderMatrix("Figs 12+13: P99 and energy across governors and sleep policies",
+		experiments.Fig12And13(q), "performance"))
+}
+
+func runFig1415(q experiments.Quality) {
+	fmt.Println(experiments.RenderMatrix("Figs 14+15: comparison with state-of-the-art (energy vs performance)",
+		experiments.Fig14And15(q), "performance"))
+}
+
+func main() {
+	flag.Parse()
+	if *list || flag.NArg() == 0 {
+		fmt.Println("available experiments:")
+		for _, e := range catalog {
+			fmt.Printf("  %-22s %s\n", e.name, e.desc)
+		}
+		fmt.Printf("  %-22s run every experiment in sequence\n", "all")
+		if flag.NArg() == 0 && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+	name := flag.Arg(0)
+	if name == "all" {
+		seen := map[string]bool{}
+		for _, e := range catalog {
+			// fig3/fig4 (etc.) share a runner; run shared ones once.
+			key := fmt.Sprintf("%p", e.run)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			e.run(q2())
+		}
+		return
+	}
+	for _, e := range catalog {
+		if e.name == name {
+			e.run(q2())
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "nmapsim: unknown experiment %q (try -list)\n", name)
+	os.Exit(2)
+}

@@ -1,0 +1,86 @@
+// Command nmapsweep generates latency-load curves: P99 response time and
+// package energy as the offered load sweeps from a fraction of the low
+// level to beyond the high level, for any policy/idle combination. This
+// is the tool used to locate the latency-load inflection points that set
+// the SLOs (§3.1 methodology).
+//
+// Usage:
+//
+//	nmapsweep [-app memcached|nginx] [-policy NAME] [-idle NAME]
+//	          [-points N] [-dur MS]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nmapsim/internal/experiments"
+	"nmapsim/internal/report"
+	"nmapsim/internal/server"
+	"nmapsim/internal/sim"
+	"nmapsim/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", "memcached", "workload profile: memcached or nginx")
+	policy := flag.String("policy", "performance", "power policy (see nmapsim -list)")
+	idle := flag.String("idle", "menu", "idle policy: menu, disable, c6only")
+	points := flag.Int("points", 8, "number of load points")
+	durMS := flag.Int("dur", 500, "measured window per point, milliseconds")
+	inflection := flag.Bool("inflection", false,
+		"locate the latency-load knee (the paper's SLO-setting procedure) and exit")
+	flag.Parse()
+
+	var prof *workload.Profile
+	switch *app {
+	case "memcached":
+		prof = workload.Memcached()
+	case "nginx":
+		prof = workload.Nginx()
+	default:
+		fmt.Fprintf(os.Stderr, "nmapsweep: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+
+	if *inflection {
+		inf := experiments.FindInflection(prof, prof.HighRPS/8, prof.HighRPS*1.2, *points, 5, experiments.Full)
+		fmt.Printf("latency-load curve (%s, performance governor):\n", prof.Name)
+		for _, pt := range inf.Curve {
+			fmt.Printf("  %8.0fK RPS  p99=%8.3fms\n", pt.RPS/1000, pt.P99.Millis())
+		}
+		fmt.Printf("inflection: %.0fK RPS, p99=%.3fms -> SLO candidate %.3fms\n",
+			inf.RPS/1000, inf.P99.Millis(), inf.P99.Millis())
+		return
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("latency-load sweep: %s, policy=%s idle=%s (SLO %.1fms)",
+			prof.Name, *policy, *idle, prof.SLO.Millis()),
+		"RPS", "p50", "p99", "p99/SLO", "energy(J)", "avg power(W)")
+	for i := 1; i <= *points; i++ {
+		rps := prof.HighRPS * float64(i) / float64(*points)
+		res, err := experiments.Run(experiments.Spec{
+			Policy: *policy,
+			Idle:   *idle,
+			Cfg: server.Config{
+				Seed:     42,
+				Profile:  prof,
+				RPS:      rps,
+				Warmup:   200 * sim.Millisecond,
+				Duration: sim.Duration(*durMS) * sim.Millisecond,
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nmapsweep: %v\n", err)
+			os.Exit(1)
+		}
+		t.Row(fmt.Sprintf("%.0fK", rps/1000),
+			fmt.Sprintf("%.3fms", res.Summary.P50.Millis()),
+			fmt.Sprintf("%.3fms", res.Summary.P99.Millis()),
+			fmt.Sprintf("%.2f", float64(res.Summary.P99)/float64(prof.SLO)),
+			fmt.Sprintf("%.1f", res.EnergyJ),
+			fmt.Sprintf("%.1f", res.AvgPowerW))
+	}
+	fmt.Println(t.String())
+}

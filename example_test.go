@@ -1,0 +1,55 @@
+package nmapsim_test
+
+import (
+	"fmt"
+
+	"nmapsim"
+)
+
+// The minimal NMAP run: bursty memcached at the paper's high load on
+// the simulated Xeon Gold 6134, NMAP governor, menu idle policy.
+func ExampleScenario_Run() {
+	res, err := nmapsim.Scenario{
+		App:        "memcached",
+		Policy:     "nmap",
+		Load:       "high",
+		Seed:       42,
+		WarmupMs:   100,
+		DurationMs: 300,
+	}.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("SLO %.0fms violated: %v\n", res.SLOMs, res.Violated)
+	// Output: SLO 1ms violated: false
+}
+
+// Comparing policies on one configuration: the headline result is that
+// NMAP keeps the SLO that ondemand misses, at far less energy than the
+// performance governor.
+func ExampleCompare() {
+	out, err := nmapsim.Compare(
+		nmapsim.Scenario{App: "memcached", Load: "high", Seed: 42, WarmupMs: 100, DurationMs: 300},
+		"ondemand", "performance", "nmap")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ondemand violated: %v\n", out["ondemand"].Violated)
+	fmt.Printf("nmap violated: %v\n", out["nmap"].Violated)
+	fmt.Printf("nmap cheaper than performance: %v\n",
+		out["nmap"].EnergyJ < out["performance"].EnergyJ)
+	// Output:
+	// ondemand violated: true
+	// nmap violated: false
+	// nmap cheaper than performance: true
+}
+
+// The §4.2 offline profiling step, exposed directly.
+func ExampleProfileThresholds() {
+	th, err := nmapsim.ProfileThresholds("memcached", 1001)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("thresholds positive: %v\n", th.NITh > 0 && th.CUTh > 0)
+	// Output: thresholds positive: true
+}

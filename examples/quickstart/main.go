@@ -1,0 +1,46 @@
+// Quickstart: run one bursty memcached scenario under NMAP and print
+// the headline numbers — tail latency vs. the SLO and package energy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nmapsim"
+)
+
+func main() {
+	res, err := nmapsim.Scenario{
+		App:    "memcached",
+		Policy: "nmap",
+		Idle:   "menu",
+		Load:   "high",
+		Seed:   7,
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("NMAP on bursty memcached at 750K RPS (8-core Xeon Gold 6134 model):")
+	fmt.Printf("  P50 latency     %.3f ms\n", res.P50)
+	fmt.Printf("  P99 latency     %.3f ms  (SLO %.0f ms, violated: %v)\n",
+		res.P99, res.SLOMs, res.Violated)
+	fmt.Printf("  over-SLO        %.2f %% of %d requests\n", res.FracOverSLO*100, res.Requests)
+	fmt.Printf("  package energy  %.1f J (%.1f W average)\n", res.EnergyJ, res.AvgPowerW)
+	fmt.Printf("  V/F transitions %d\n", res.Transitions)
+
+	// The paper's headline: NMAP keeps the SLO at a fraction of the
+	// performance governor's energy. Compare directly:
+	cmp, err := nmapsim.Compare(nmapsim.Scenario{App: "memcached", Load: "low", Seed: 7},
+		"performance", "ondemand", "nmap")
+	if err != nil {
+		log.Fatal(err)
+	}
+	perf := cmp["performance"]
+	fmt.Println("\nLow load (30K RPS) comparison:")
+	for _, name := range []string{"performance", "ondemand", "nmap"} {
+		r := cmp[name]
+		fmt.Printf("  %-12s p99=%.3fms violated=%-5v energy=%.1fJ (%+.1f%% vs performance)\n",
+			name, r.P99, r.Violated, r.EnergyJ, (r.EnergyJ/perf.EnergyJ-1)*100)
+	}
+}

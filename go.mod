@@ -1,0 +1,3 @@
+module nmapsim
+
+go 1.22

@@ -1,0 +1,266 @@
+// Package core implements the paper's contribution: NMAP, Network packet
+// processing Mode-Aware Power management.
+//
+// NMAP piggybacks on the NAPI mode transitions the kernel model exposes:
+//
+//   - Algorithm 1 (Mode Transition Monitor): per core, count packets
+//     processed in polling and interrupt mode; when the polling-mode
+//     count within one interrupt window exceeds NI_TH, notify the
+//     Decision Engine immediately; flush the accumulated counters to the
+//     engine every timer interval.
+//   - Algorithm 2 (Decision Engine): on a notification, enter Network
+//     Intensive Mode — disable the CPU-utilisation governor for that
+//     core and maximise its V/F. Periodically, when in Network Intensive
+//     Mode and the polling-to-interrupt ratio falls below CU_TH, fall
+//     back to CPU Utilisation Mode — re-enable the governor and let it
+//     enforce a utilisation-based state.
+//
+// Two flavours are provided, matching the paper: NMAP (the ratio-based
+// monitor above) and NMAPSimpl (§4.1), which enters Network Intensive
+// Mode when ksoftirqd wakes and falls back when ksoftirqd sleeps.
+// The offline threshold profiler of §4.2 is in profile.go.
+package core
+
+import (
+	"nmapsim/internal/cpu"
+	"nmapsim/internal/governor"
+	"nmapsim/internal/kernel"
+	"nmapsim/internal/sim"
+)
+
+// Mode is the per-core power-management mode of Algorithm 2.
+type Mode int
+
+const (
+	// CPUUtilMode delegates the core's P-state to the fallback
+	// CPU-utilisation governor (ondemand).
+	CPUUtilMode Mode = iota
+	// NetworkIntensiveMode pins the core at P0.
+	NetworkIntensiveMode
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == NetworkIntensiveMode {
+		return "network-intensive"
+	}
+	return "cpu-util"
+}
+
+// Thresholds carries the two profiled thresholds of §4.2.
+type Thresholds struct {
+	// NITh is the Network-Intensive threshold: polling-mode packets
+	// observed within one interrupt window that trigger the boost.
+	NITh float64
+	// CUTh is the CPU-Utilisation threshold: when the periodic
+	// polling-to-interrupt packet ratio drops below it, fall back.
+	CUTh float64
+}
+
+// DefaultThresholds returns thresholds that work for the memcached
+// profile; experiments normally obtain them via the Profiler.
+func DefaultThresholds() Thresholds { return Thresholds{NITh: 32, CUTh: 0.25} }
+
+type nmapCore struct {
+	mode      Mode
+	pollCnt   float64 // Algorithm 1 accumulators (reset every timer interval)
+	intrCnt   float64
+	boosts    int64
+	fallbacks int64
+}
+
+// NMAP is the ratio-based flavour (§4.2). It implements
+// kernel.NAPIListener; attach it to every CoreKernel and call Start.
+type NMAP struct {
+	eng   *sim.Engine
+	proc  *cpu.Processor
+	stack *governor.Stack
+	th    Thresholds
+	// Interval is the Decision Engine timer (10ms in the evaluation).
+	interval sim.Duration
+
+	cores []*nmapCore
+	stop  func()
+
+	// OnModeChange, if set, observes every mode transition (tracing).
+	OnModeChange func(coreID int, m Mode, at sim.Time)
+}
+
+// NewNMAP builds the governor. stack wraps the fallback CPU-utilisation
+// governor (ondemand in the paper). interval <= 0 defaults to 10ms.
+func NewNMAP(eng *sim.Engine, proc *cpu.Processor, stack *governor.Stack, th Thresholds, interval sim.Duration) *NMAP {
+	if interval <= 0 {
+		interval = 10 * sim.Millisecond
+	}
+	n := &NMAP{eng: eng, proc: proc, stack: stack, th: th, interval: interval}
+	for range proc.Cores {
+		n.cores = append(n.cores, &nmapCore{mode: CPUUtilMode})
+	}
+	return n
+}
+
+// Start launches the fallback governor stack and the Decision Engine
+// timer.
+func (n *NMAP) Start() {
+	n.stack.Start()
+	n.stop = n.eng.Ticker(n.interval, n.periodic)
+}
+
+// Stop halts the timer and the fallback stack.
+func (n *NMAP) Stop() {
+	if n.stop != nil {
+		n.stop()
+		n.stop = nil
+	}
+	n.stack.Stop()
+}
+
+// Mode returns core i's current power-management mode.
+func (n *NMAP) Mode(i int) Mode { return n.cores[i].mode }
+
+// Boosts returns how many times core i entered Network Intensive Mode.
+func (n *NMAP) Boosts(i int) int64 { return n.cores[i].boosts }
+
+// Fallbacks returns how many times core i fell back to CPU Util Mode.
+func (n *NMAP) Fallbacks(i int) int64 { return n.cores[i].fallbacks }
+
+// InterruptArrived implements kernel.NAPIListener (the monitor only
+// needs the packet counts).
+func (n *NMAP) InterruptArrived(coreID int) {}
+
+// PacketsProcessed implements kernel.NAPIListener (Algorithm 1 lines
+// 4-8): accumulate the mode counters and notify the Decision Engine as
+// soon as the polling-mode packets accumulated in the current timer
+// window exceed NI_TH — "the increase in the polling ratio means the
+// increase in the number of pending packets".
+func (n *NMAP) PacketsProcessed(coreID int, mode kernel.Mode, pkts int) {
+	c := n.cores[coreID]
+	if mode == kernel.PollingMode {
+		c.pollCnt += float64(pkts)
+		if c.pollCnt > n.th.NITh {
+			n.notify(coreID)
+		}
+	} else {
+		c.intrCnt += float64(pkts)
+	}
+}
+
+// KsoftirqdWake implements kernel.NAPIListener (no-op in this flavour).
+func (n *NMAP) KsoftirqdWake(int) {}
+
+// KsoftirqdSleep implements kernel.NAPIListener (no-op in this flavour).
+func (n *NMAP) KsoftirqdSleep(int) {}
+
+// notify is Algorithm 2 lines 2-5: enter Network Intensive Mode.
+func (n *NMAP) notify(coreID int) {
+	c := n.cores[coreID]
+	if c.mode == NetworkIntensiveMode {
+		return
+	}
+	c.mode = NetworkIntensiveMode
+	c.boosts++
+	n.stack.Suspend(coreID)
+	n.proc.Request(coreID, 0)
+	if n.OnModeChange != nil {
+		n.OnModeChange(coreID, NetworkIntensiveMode, n.eng.Now())
+	}
+}
+
+// periodic is Algorithm 2 lines 6-13 plus Algorithm 1 lines 9-12: flush
+// the counters and fall back when the polling-to-interrupt ratio drops
+// below CU_TH.
+func (n *NMAP) periodic() {
+	for i, c := range n.cores {
+		poll, intr := c.pollCnt, c.intrCnt
+		c.pollCnt, c.intrCnt = 0, 0
+		if c.mode != NetworkIntensiveMode {
+			continue
+		}
+		ratio := poll
+		if intr > 0 {
+			ratio = poll / intr
+		} else if poll == 0 {
+			ratio = 0
+		} else {
+			// Packets flowed in polling mode only: maximally intense.
+			continue
+		}
+		if ratio < n.th.CUTh {
+			c.mode = CPUUtilMode
+			c.fallbacks++
+			n.stack.Resume(i)
+			if n.OnModeChange != nil {
+				n.OnModeChange(i, CPUUtilMode, n.eng.Now())
+			}
+		}
+	}
+}
+
+// NMAPSimpl is the simplified flavour (§4.1): it boosts when ksoftirqd
+// wakes and falls back when ksoftirqd sleeps, requiring no thresholds or
+// profiling.
+type NMAPSimpl struct {
+	eng   *sim.Engine
+	proc  *cpu.Processor
+	stack *governor.Stack
+
+	cores []*nmapCore
+	// OnModeChange, if set, observes every mode transition.
+	OnModeChange func(coreID int, m Mode, at sim.Time)
+}
+
+// NewNMAPSimpl builds the simplified governor over the fallback stack.
+func NewNMAPSimpl(eng *sim.Engine, proc *cpu.Processor, stack *governor.Stack) *NMAPSimpl {
+	n := &NMAPSimpl{eng: eng, proc: proc, stack: stack}
+	for range proc.Cores {
+		n.cores = append(n.cores, &nmapCore{mode: CPUUtilMode})
+	}
+	return n
+}
+
+// Start launches the fallback governor stack.
+func (n *NMAPSimpl) Start() { n.stack.Start() }
+
+// Stop halts the fallback stack.
+func (n *NMAPSimpl) Stop() { n.stack.Stop() }
+
+// Mode returns core i's current mode.
+func (n *NMAPSimpl) Mode(i int) Mode { return n.cores[i].mode }
+
+// Boosts returns how many times core i entered Network Intensive Mode.
+func (n *NMAPSimpl) Boosts(i int) int64 { return n.cores[i].boosts }
+
+// InterruptArrived implements kernel.NAPIListener (unused).
+func (n *NMAPSimpl) InterruptArrived(int) {}
+
+// PacketsProcessed implements kernel.NAPIListener (unused).
+func (n *NMAPSimpl) PacketsProcessed(int, kernel.Mode, int) {}
+
+// KsoftirqdWake implements kernel.NAPIListener: boost.
+func (n *NMAPSimpl) KsoftirqdWake(coreID int) {
+	c := n.cores[coreID]
+	if c.mode == NetworkIntensiveMode {
+		return
+	}
+	c.mode = NetworkIntensiveMode
+	c.boosts++
+	n.stack.Suspend(coreID)
+	n.proc.Request(coreID, 0)
+	if n.OnModeChange != nil {
+		n.OnModeChange(coreID, NetworkIntensiveMode, n.eng.Now())
+	}
+}
+
+// KsoftirqdSleep implements kernel.NAPIListener: fall back.
+func (n *NMAPSimpl) KsoftirqdSleep(coreID int) {
+	c := n.cores[coreID]
+	if c.mode != NetworkIntensiveMode {
+		return
+	}
+	c.mode = CPUUtilMode
+	c.fallbacks++
+	n.stack.Resume(coreID)
+	if n.OnModeChange != nil {
+		n.OnModeChange(coreID, CPUUtilMode, n.eng.Now())
+	}
+}

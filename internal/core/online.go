@@ -1,0 +1,117 @@
+package core
+
+import (
+	"nmapsim/internal/kernel"
+	"nmapsim/internal/sim"
+)
+
+// This file implements the two extensions the paper names as future
+// work:
+//
+//   - §4.2: "We leave further exploration of on-line profiling
+//     techniques as our future work." — OnlineTuner re-derives the
+//     NMAP thresholds continuously from the live NAPI event stream, so
+//     the governor adapts when the running application (and therefore
+//     its polling signature) changes, without an offline profiling run.
+//   - §8: "We leave it as future work to consider the sophisticated use
+//     of sleep state integrated with DVFS." — SleepControl integration:
+//     while a core is in Network Intensive Mode, deep sleep is disabled
+//     (a mid-burst CC6 wake costs ~27µs + cache refill); in CPU
+//     Utilisation Mode the idle policy is restored.
+
+// SetThresholds replaces the monitor thresholds at runtime (used by the
+// online tuner).
+func (n *NMAP) SetThresholds(th Thresholds) { n.th = th }
+
+// CurrentThresholds returns the thresholds in use.
+func (n *NMAP) CurrentThresholds() Thresholds { return n.th }
+
+// OnlineTuner wraps a continuously running Profiler and re-derives the
+// NMAP thresholds after every AdjustEvery completed bursts. Attach it as
+// a NAPI listener alongside the NMAP it tunes.
+type OnlineTuner struct {
+	nmap *NMAP
+	prof *Profiler
+	// AdjustEvery is the number of completed bursts between threshold
+	// updates (default 4).
+	AdjustEvery int
+	// Blend is the EWMA weight of the freshly derived thresholds
+	// against the current ones (default 0.5), damping burst-to-burst
+	// noise.
+	Blend float64
+
+	lastBursts int
+	// Updates counts threshold adjustments applied.
+	Updates int64
+}
+
+// NewOnlineTuner builds a tuner for the given NMAP instance.
+func NewOnlineTuner(eng *sim.Engine, n *NMAP) *OnlineTuner {
+	return &OnlineTuner{
+		nmap:        n,
+		prof:        NewProfiler(eng),
+		AdjustEvery: 4,
+		Blend:       0.5,
+	}
+}
+
+// InterruptArrived implements kernel.NAPIListener.
+func (t *OnlineTuner) InterruptArrived(coreID int) {
+	t.prof.InterruptArrived(coreID)
+	if t.prof.Bursts() >= t.lastBursts+t.AdjustEvery {
+		t.lastBursts = t.prof.Bursts()
+		t.apply()
+	}
+}
+
+// PacketsProcessed implements kernel.NAPIListener.
+func (t *OnlineTuner) PacketsProcessed(coreID int, mode kernel.Mode, n int) {
+	t.prof.PacketsProcessed(coreID, mode, n)
+}
+
+// KsoftirqdWake implements kernel.NAPIListener (unused).
+func (t *OnlineTuner) KsoftirqdWake(int) {}
+
+// KsoftirqdSleep implements kernel.NAPIListener (unused).
+func (t *OnlineTuner) KsoftirqdSleep(int) {}
+
+func (t *OnlineTuner) apply() {
+	fresh := t.prof.Peek()
+	if fresh == (Thresholds{}) {
+		return
+	}
+	cur := t.nmap.CurrentThresholds()
+	b := t.Blend
+	t.nmap.SetThresholds(Thresholds{
+		NITh: (1-b)*cur.NITh + b*fresh.NITh,
+		CUTh: (1-b)*cur.CUTh + b*fresh.CUTh,
+	})
+	t.Updates++
+}
+
+// SleepControl lets an NMAP flavour force a core's sleep states off
+// during Network Intensive Mode; baselines.SwitchableIdle implements it.
+type SleepControl interface {
+	ForceAwake(bool)
+}
+
+// IntegrateSleep arms the §8 future-work extension on an NMAP instance:
+// entering Network Intensive Mode on ANY core forces the idle policy
+// awake (shallow); when every core is back in CPU Utilisation Mode the
+// inner idle policy is restored. The previous OnModeChange hook, if
+// set, keeps firing.
+func (n *NMAP) IntegrateSleep(ctl SleepControl) {
+	prev := n.OnModeChange
+	n.OnModeChange = func(coreID int, m Mode, at sim.Time) {
+		intense := 0
+		for _, c := range n.cores {
+			if c.mode == NetworkIntensiveMode {
+				intense++
+			}
+		}
+		ctl.ForceAwake(intense > 0)
+		if prev != nil {
+			prev(coreID, m, at)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"nmapsim/internal/sim"
+)
+
+// Exec represents one in-flight piece of work on a core, measured in
+// cycles. The core converts cycles to time at its *current* frequency and
+// transparently re-schedules the completion when the frequency changes
+// mid-flight. Only one Exec may be active per core at a time; the kernel
+// scheduler serialises work.
+type Exec struct {
+	core      *Core
+	remaining float64 // cycles left at the last reschedule point
+	done      func()
+	ev        *sim.Event
+	since     sim.Time // when the current segment started
+	freq      float64  // GHz during the current segment
+	penalty   sim.Duration
+	finished  bool
+}
+
+// Remaining returns the cycles left, accounting for progress in the
+// current segment.
+func (x *Exec) Remaining() float64 {
+	if x.finished {
+		return 0
+	}
+	elapsed := float64(x.core.eng.Now() - x.since)
+	c := x.remaining - elapsed*x.freq
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// Cancel preempts the execution, returning the cycles that had not yet
+// been executed. The completion callback will not run.
+func (x *Exec) Cancel() float64 {
+	if x.finished {
+		return 0
+	}
+	rem := x.Remaining()
+	x.finished = true
+	x.ev.Cancel()
+	x.core.settle()
+	x.core.busy = false
+	x.core.active = nil
+	return rem
+}
+
+func (x *Exec) schedule() {
+	dur := sim.Duration(math.Ceil(x.remaining/x.freq)) + x.penalty
+	x.penalty = 0
+	if dur < 1 {
+		dur = 1
+	}
+	x.since = x.core.eng.Now()
+	x.ev = x.core.eng.Schedule(dur, func() {
+		x.finished = true
+		x.core.active = nil
+		x.done()
+	})
+}
+
+// reprice is called when the core frequency changes: bank the progress
+// made at the old frequency and reschedule the remainder at the new one.
+func (x *Exec) reprice(newFreq float64) {
+	if x.finished {
+		return
+	}
+	x.remaining = x.Remaining()
+	x.ev.Cancel()
+	x.freq = newFreq
+	x.schedule()
+}
+
+// Core models one processor core: its P-state (with transition and
+// re-transition latency), C-state, execution, and exact energy/residency
+// accounting.
+type Core struct {
+	ID    int
+	model *Model
+	eng   *sim.Engine
+	rng   *sim.RNG
+
+	// P-state machinery.
+	cur        int // operating point in effect
+	pending    int // target of an in-flight transition (-1 if none)
+	pendingEv  *sim.Event
+	lastEffect sim.Time // when the most recent transition took effect
+	everSet    bool     // whether any transition has ever been issued
+
+	// C-state machinery.
+	cstate      CState
+	busy        bool
+	active      *Exec
+	wakePenalty sim.Duration // CC6 cache-refill debt charged to next Exec
+	wakingUntil sim.Time     // end of the in-flight C-state exit (power accounting)
+
+	// Accounting (piecewise integration; lastAcct is the last instant at
+	// which the accumulators were brought current).
+	lastAcct   sim.Time
+	energyJ    float64
+	busyNs     int64
+	cc0Ns      int64
+	cc6Entries int64
+	transCount int64
+
+	// OnPStateChange, if set, fires whenever the effective operating
+	// point changes (used by the time-series sampler).
+	OnPStateChange func(p int)
+}
+
+// NewCore builds a core for the given model attached to the engine.
+func NewCore(id int, m *Model, eng *sim.Engine, rng *sim.RNG) *Core {
+	return &Core{
+		ID:      id,
+		model:   m,
+		eng:     eng,
+		rng:     rng,
+		cur:     0,
+		pending: -1,
+		cstate:  CC0,
+	}
+}
+
+// Model returns the processor model this core belongs to.
+func (c *Core) Model() *Model { return c.model }
+
+// PState returns the operating point currently in effect.
+func (c *Core) PState() int { return c.cur }
+
+// PendingPState returns the in-flight transition target, or the current
+// state if no transition is in flight.
+func (c *Core) PendingPState() int {
+	if c.pending >= 0 {
+		return c.pending
+	}
+	return c.cur
+}
+
+// FreqGHz returns the effective clock in GHz (cycles per nanosecond).
+func (c *Core) FreqGHz() float64 { return c.model.PStates[c.cur].FreqGHz }
+
+// CStateNow returns the current sleep state.
+func (c *Core) CStateNow() CState { return c.cstate }
+
+// Busy reports whether an Exec is in flight.
+func (c *Core) Busy() bool { return c.busy }
+
+// Transitions returns the number of P-state transitions that have taken
+// effect.
+func (c *Core) Transitions() int64 { return c.transCount }
+
+// power returns the instantaneous power draw in watts for the current
+// (cstate, pstate, busy) condition, per the PowerParams model.
+func (c *Core) power() float64 {
+	pp := c.model.Power
+	ps := c.model.PStates[c.cur]
+	vmax := c.model.PStates[0].Volt
+	fmax := c.model.PStates[0].FreqGHz
+	vr := ps.Volt / vmax
+	fr := ps.FreqGHz / fmax
+	uncore := pp.UncoreDynW / float64(c.model.NumCores) * vr * vr * fr
+	if c.eng.Now() <= c.wakingUntil {
+		return pp.WakeW + uncore
+	}
+	switch c.cstate {
+	case CC1:
+		return pp.CC1W*vr + uncore
+	case CC6:
+		return pp.CC6W + uncore
+	}
+	dyn := pp.DynW * vr * vr * fr
+	static := pp.StaticW * vr
+	if c.busy {
+		return dyn + static + uncore
+	}
+	return pp.IdleActivity*dyn + static + uncore
+}
+
+// settle brings the energy and residency accumulators current.
+func (c *Core) settle() {
+	now := c.eng.Now()
+	dt := now - c.lastAcct
+	if dt <= 0 {
+		c.lastAcct = now
+		return
+	}
+	c.energyJ += c.power() * float64(dt) * 1e-9
+	if c.busy {
+		c.busyNs += int64(dt)
+	}
+	if c.cstate == CC0 {
+		c.cc0Ns += int64(dt)
+	}
+	c.lastAcct = now
+}
+
+// Acct is a snapshot of a core's cumulative accounting counters.
+type Acct struct {
+	EnergyJ    float64
+	BusyNs     int64
+	CC0Ns      int64
+	CC6Entries int64
+	At         sim.Time
+}
+
+// Snapshot settles and returns the cumulative counters; governors diff
+// successive snapshots to compute utilisation over their sampling window.
+func (c *Core) Snapshot() Acct {
+	c.settle()
+	return Acct{
+		EnergyJ:    c.energyJ,
+		BusyNs:     c.busyNs,
+		CC0Ns:      c.cc0Ns,
+		CC6Entries: c.cc6Entries,
+		At:         c.eng.Now(),
+	}
+}
+
+// SetPState requests a transition to operating point p. The new point
+// takes effect after the ACPI latency if the core has been settled, or
+// after the model's re-transition latency if a transition took effect (or
+// is still in flight) within the settle window — the §5.1 behaviour.
+// It returns the latency charged (0 for a no-op request).
+func (c *Core) SetPState(p int) sim.Duration {
+	if p < 0 || p >= len(c.model.PStates) {
+		panic(fmt.Sprintf("cpu: P-state %d out of range for %s", p, c.model.Name))
+	}
+	if c.pending == p || (c.pending < 0 && c.cur == p) {
+		return 0
+	}
+	now := c.eng.Now()
+	var lat sim.Duration
+	recent := c.everSet && now-c.lastEffect < sim.Time(c.model.SettleWindow)
+	if c.pending >= 0 || recent {
+		lat = c.model.ReTransLatency(c.cur, p, c.rng)
+	} else {
+		lat = c.model.ACPILatency
+	}
+	if c.pendingEv != nil {
+		c.pendingEv.Cancel()
+	}
+	c.pending = p
+	c.pendingEv = c.eng.Schedule(lat, func() {
+		c.settle()
+		c.cur = p
+		c.pending = -1
+		c.pendingEv = nil
+		c.lastEffect = c.eng.Now()
+		c.everSet = true
+		c.transCount++
+		if c.active != nil {
+			c.active.reprice(c.FreqGHz())
+		}
+		if c.OnPStateChange != nil {
+			c.OnPStateChange(p)
+		}
+	})
+	return lat
+}
+
+// StartExec begins executing cycles of work at the core's effective
+// frequency, invoking done on completion. Exactly one Exec may be in
+// flight; the caller (the kernel scheduler) enforces serialisation.
+func (c *Core) StartExec(cycles float64, done func()) *Exec {
+	if c.active != nil {
+		panic("cpu: StartExec while another Exec is active")
+	}
+	if c.cstate != CC0 {
+		panic("cpu: StartExec while core is sleeping")
+	}
+	c.settle()
+	c.busy = true
+	x := &Exec{
+		core:      c,
+		remaining: cycles,
+		done: func() {
+			c.settle()
+			c.busy = false
+			done()
+		},
+		freq:    c.FreqGHz(),
+		penalty: c.wakePenalty,
+	}
+	c.wakePenalty = 0
+	c.active = x
+	x.schedule()
+	return x
+}
+
+// Idle marks the core idle in CC0 (no Exec in flight, clock running).
+func (c *Core) Idle() {
+	c.settle()
+	c.busy = false
+}
+
+// Sleep puts the core into the given C-state. Only legal when no Exec is
+// active. Entering CC6 increments the CC6-entry counter and arms the
+// cache-refill debt for the next execution after wake-up.
+func (c *Core) Sleep(s CState) {
+	if c.active != nil {
+		panic("cpu: Sleep while an Exec is active")
+	}
+	c.settle()
+	c.busy = false
+	if s == CC6 && c.cstate != CC6 {
+		c.cc6Entries++
+	}
+	c.cstate = s
+}
+
+// Wake transitions the core back to CC0 and returns the wake-up latency
+// the caller must wait before dispatching work. Waking from CC6 also arms
+// the cache-refill penalty charged to the next Exec (§5.2).
+func (c *Core) Wake() sim.Duration {
+	if c.cstate == CC0 {
+		return 0
+	}
+	c.settle()
+	lat := c.model.WakeLatency(c.cstate, c.rng)
+	if c.cstate == CC6 {
+		pen := sim.Duration(float64(c.model.CC6FlushPenalty) * c.model.CC6FlushFraction)
+		c.wakePenalty += pen
+	}
+	c.cstate = CC0
+	// The exit transition itself draws WakeW until it completes; the
+	// kernel dispatches work exactly at that boundary, so the piecewise
+	// integration bills the window at the transition power.
+	c.wakingUntil = c.eng.Now() + sim.Time(lat)
+	return lat
+}

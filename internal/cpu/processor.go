@@ -1,0 +1,99 @@
+package cpu
+
+import (
+	"nmapsim/internal/sim"
+)
+
+// Processor groups the cores of one package and implements the package-
+// level DVFS coordination rule from §2.2: on parts without per-core DVFS
+// (or when ForceChipWide is set, as the NCAP baseline requires), all cores
+// run at the highest frequency requested by any core's governor.
+type Processor struct {
+	Model *Model
+	Cores []*Core
+	eng   *sim.Engine
+
+	// ForceChipWide applies the chip-wide coordination rule even on
+	// parts that support per-core DVFS (used by NCAP).
+	ForceChipWide bool
+
+	// requested holds the most recent per-core governor requests, used
+	// to compute the chip-wide effective state.
+	requested []int
+}
+
+// NewProcessor builds a processor with the model's core count.
+func NewProcessor(m *Model, eng *sim.Engine, rng *sim.RNG) *Processor {
+	p := &Processor{Model: m, eng: eng}
+	// Requests default to the slowest state so that, chip-wide, only
+	// cores whose governors actually ask for speed pull the package up.
+	p.requested = make([]int, m.NumCores)
+	for i := range p.requested {
+		p.requested[i] = m.MaxP()
+	}
+	for i := 0; i < m.NumCores; i++ {
+		p.Cores = append(p.Cores, NewCore(i, m, eng, rng.Fork()))
+	}
+	return p
+}
+
+// PerCore reports whether each core's request is applied independently.
+func (p *Processor) PerCore() bool {
+	return p.Model.PerCoreDVFS && !p.ForceChipWide
+}
+
+// Request records coreID's desired operating point and applies the DVFS
+// coordination rule. On per-core parts the request applies directly; on
+// chip-wide parts every core moves to the fastest requested point
+// (smallest index).
+func (p *Processor) Request(coreID, pstate int) {
+	p.requested[coreID] = pstate
+	if p.PerCore() {
+		p.Cores[coreID].SetPState(pstate)
+		return
+	}
+	best := p.requested[0]
+	for _, r := range p.requested[1:] {
+		if r < best {
+			best = r
+		}
+	}
+	for _, c := range p.Cores {
+		c.SetPState(best)
+	}
+}
+
+// RequestAll sets every core's request to the same operating point.
+func (p *Processor) RequestAll(pstate int) {
+	for i := range p.requested {
+		p.requested[i] = pstate
+	}
+	if p.PerCore() {
+		for _, c := range p.Cores {
+			c.SetPState(pstate)
+		}
+		return
+	}
+	for _, c := range p.Cores {
+		c.SetPState(pstate)
+	}
+}
+
+// PackageEnergyJ settles all cores and returns the RAPL-style package
+// energy: core energy plus uncore power integrated over the run.
+func (p *Processor) PackageEnergyJ() float64 {
+	total := p.Model.Power.UncoreW * p.eng.Now().Seconds()
+	for _, c := range p.Cores {
+		total += c.Snapshot().EnergyJ
+	}
+	return total
+}
+
+// TotalCC6Entries sums CC6 entries across cores.
+func (p *Processor) TotalCC6Entries() int64 {
+	var n int64
+	for _, c := range p.Cores {
+		n += c.Snapshot().CC6Entries
+	}
+	return n
+}

@@ -1,0 +1,144 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nmapsim/internal/sim"
+)
+
+func TestPackageEnergyIncludesUncore(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewProcessor(XeonGold6134, eng, sim.NewRNG(1))
+	for _, c := range p.Cores {
+		c.Sleep(CC6)
+	}
+	eng.Schedule(sim.Duration(sim.Second), func() {})
+	eng.RunAll()
+	e := p.PackageEnergyJ()
+	// All cores in CC6: package energy ≈ static uncore (8W) + 8 cores ×
+	// (CC6 floor + per-core uncore-dynamic share at P0).
+	pp := XeonGold6134.Power
+	wantMin := pp.UncoreW * 0.9
+	if e < wantMin {
+		t.Fatalf("package energy %f J below the uncore floor %f", e, wantMin)
+	}
+	if e > pp.UncoreW+10 {
+		t.Fatalf("package energy %f J too high for an all-CC6 package", e)
+	}
+}
+
+func TestTotalCC6Entries(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewProcessor(XeonGold6134, eng, sim.NewRNG(1))
+	p.Cores[0].Sleep(CC6)
+	p.Cores[0].Wake()
+	p.Cores[3].Sleep(CC6)
+	p.Cores[3].Wake()
+	p.Cores[3].Sleep(CC6)
+	if n := p.TotalCC6Entries(); n != 3 {
+		t.Fatalf("total CC6 entries = %d, want 3", n)
+	}
+}
+
+func TestRequestAllAppliesEverywhere(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewProcessor(XeonGold6134, eng, sim.NewRNG(1))
+	p.RequestAll(7)
+	eng.RunAll()
+	for _, c := range p.Cores {
+		if c.PState() != 7 {
+			t.Fatalf("core %d at P%d after RequestAll(7)", c.ID, c.PState())
+		}
+	}
+}
+
+// Property: Classify is total and symmetric in magnitude classes — for
+// any from != to it returns one of the six classes, with big jumps
+// mapping to the Pmax<->Pmin classes.
+func TestClassifyTotalProperty(t *testing.T) {
+	m := XeonGold6134
+	f := func(a, b uint8) bool {
+		from := int(a) % len(m.PStates)
+		to := int(b) % len(m.PStates)
+		if from == to {
+			return true
+		}
+		c := m.Classify(from, to)
+		if c < MaxToMaxMinus1 || c > MinToMinPlus1 {
+			return false
+		}
+		span := from - to
+		if span < 0 {
+			span = -span
+		}
+		if span > m.MaxP()/2 {
+			return c == MinToMax || c == MaxToMin
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: re-transition latencies are always positive and within a
+// few stdevs of the class mean.
+func TestReTransLatencyBoundedProperty(t *testing.T) {
+	m := XeonGold6134
+	rng := sim.NewRNG(3)
+	f := func(a, b uint8) bool {
+		from := int(a) % len(m.PStates)
+		to := int(b) % len(m.PStates)
+		if from == to {
+			return true
+		}
+		lat := m.ReTransLatency(from, to, rng)
+		spec := m.ReTransition[m.Classify(from, to)]
+		lo := float64(spec.Mean) - 6*float64(spec.Stdev)
+		hi := float64(spec.Mean) + 6*float64(spec.Stdev)
+		return float64(lat) >= math.Max(lo, 1000) && float64(lat) <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllModelsMeasurable(t *testing.T) {
+	// Every model must survive the Table-1/Table-2 procedures end to end
+	// (guards against a new model with a missing transition entry).
+	rows1 := MeasureTable1(Models, 20, 5)
+	if len(rows1) != len(Models)*6 {
+		t.Fatalf("table1 rows = %d", len(rows1))
+	}
+	for _, r := range rows1 {
+		if r.Sample.MeanUs <= 0 {
+			t.Fatalf("%s %s: non-positive mean", r.Processor, r.Transition)
+		}
+	}
+	rows2 := MeasureTable2(Models, 10, 5)
+	if len(rows2) != len(Models)*2 {
+		t.Fatalf("table2 rows = %d", len(rows2))
+	}
+}
+
+func TestDesktopPartsChipWideOnly(t *testing.T) {
+	for _, m := range []*Model{I76700, I77700} {
+		if m.PerCoreDVFS {
+			t.Errorf("%s wrongly marked per-core DVFS", m.Name)
+		}
+	}
+	eng := sim.NewEngine()
+	p := NewProcessor(I76700, eng, sim.NewRNG(1))
+	if p.PerCore() {
+		t.Fatal("desktop processor reported per-core DVFS")
+	}
+	p.Request(0, 3)
+	eng.RunAll()
+	for _, c := range p.Cores {
+		if c.PState() != 3 {
+			t.Fatalf("chip-wide request not applied to core %d", c.ID)
+		}
+	}
+}

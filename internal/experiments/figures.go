@@ -1,0 +1,583 @@
+package experiments
+
+import (
+	"nmapsim/internal/baselines"
+	"nmapsim/internal/cpu"
+	"nmapsim/internal/governor"
+	"nmapsim/internal/server"
+	"nmapsim/internal/sim"
+	"nmapsim/internal/stats"
+	"nmapsim/internal/workload"
+)
+
+// Quality scales experiment durations: Full reproduces the paper's
+// windows; Quick shrinks them for benchmarks and smoke tests.
+type Quality int
+
+// The two harness qualities.
+const (
+	Full Quality = iota
+	Quick
+)
+
+func (q Quality) warmup() sim.Duration {
+	if q == Quick {
+		return 100 * sim.Millisecond
+	}
+	return 200 * sim.Millisecond
+}
+
+func (q Quality) duration() sim.Duration {
+	if q == Quick {
+		return 300 * sim.Millisecond
+	}
+	return sim.Duration(sim.Second)
+}
+
+const defaultSeed = 42
+
+// ---------------------------------------------------------------------
+// Trace figures: Fig 2 (ondemand), Fig 7 (sleep states), Fig 9 (NMAP).
+// ---------------------------------------------------------------------
+
+// TraceFigure is the per-millisecond view a trace figure plots.
+type TraceFigure struct {
+	App     string
+	Policy  string
+	Idle    string
+	Level   workload.Level
+	Ms      int // number of 1ms bins
+	PktIntr []float64
+	PktPoll []float64
+	KsWakes []float64
+	CC6     []float64
+	PState  []float64
+	// Result carries the run's headline numbers.
+	Result server.Result
+}
+
+// RunTrace runs one traced configuration and samples the window
+// [warmup, warmup+window).
+func RunTrace(profile *workload.Profile, level workload.Level, policy, idle string, window sim.Duration, q Quality) TraceFigure {
+	spec := Spec{
+		Policy: policy,
+		Idle:   idle,
+		Cfg: server.Config{
+			Seed:     defaultSeed,
+			Profile:  profile,
+			Level:    level,
+			Warmup:   q.warmup(),
+			Duration: window,
+		},
+	}
+	s, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	tr := NewTrace(s, 0)
+	res := s.Run()
+
+	from := int(q.warmup() / sim.Millisecond)
+	n := int(window / sim.Millisecond)
+	slice := func(c *stats.Counter) []float64 {
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			out[i] = c.Bin(from + i)
+		}
+		return out
+	}
+	ps := tr.PStateSeries(sim.Time(q.warmup() + window))
+	return TraceFigure{
+		App:     profile.Name,
+		Policy:  policy,
+		Idle:    idle,
+		Level:   level,
+		Ms:      n,
+		PktIntr: slice(tr.PktIntr),
+		PktPoll: slice(tr.PktPoll),
+		KsWakes: slice(tr.KsWakes),
+		CC6:     slice(tr.CC6Entry),
+		PState:  ps[from:],
+		Result:  res,
+	}
+}
+
+// Fig2 reproduces Fig 2: ksoftirqd wake-ups, the ondemand P-state, and
+// the interrupt/polling packet split at high load for both apps.
+func Fig2(q Quality) []TraceFigure {
+	return []TraceFigure{
+		RunTrace(workload.Memcached(), workload.High, "ondemand", "menu", 500*sim.Millisecond, q),
+		RunTrace(workload.Nginx(), workload.High, "ondemand", "menu", 500*sim.Millisecond, q),
+	}
+}
+
+// Fig9 reproduces Fig 9: the same view under NMAP.
+func Fig9(q Quality) []TraceFigure {
+	return []TraceFigure{
+		RunTrace(workload.Memcached(), workload.High, "nmap", "menu", 500*sim.Millisecond, q),
+		RunTrace(workload.Nginx(), workload.High, "nmap", "menu", 500*sim.Millisecond, q),
+	}
+}
+
+// Fig7 reproduces Fig 7: CC6 entries and the packet split under the
+// menu governor at low and high memcached load (performance governor).
+func Fig7(q Quality) []TraceFigure {
+	return []TraceFigure{
+		RunTrace(workload.Memcached(), workload.Low, "performance", "menu", 500*sim.Millisecond, q),
+		RunTrace(workload.Memcached(), workload.High, "performance", "menu", 500*sim.Millisecond, q),
+	}
+}
+
+// ---------------------------------------------------------------------
+// Latency scatter and CDF figures: Figs 3, 4, 10, 11.
+// ---------------------------------------------------------------------
+
+// LatencyFigure carries a 0.5s per-request latency scatter and the full
+// response-time CDF for one configuration.
+type LatencyFigure struct {
+	App       string
+	Policy    string
+	Level     workload.Level
+	SLO       sim.Duration
+	Scatter   *stats.Scatter // latency (ms) vs completion time, 0.5s window
+	CDF       []stats.CDFPoint
+	FracUnder float64 // fraction of responses within the SLO
+	Result    server.Result
+}
+
+// RunLatency runs one configuration and extracts the Fig-3-style
+// scatter and Fig-4-style CDF.
+func RunLatency(profile *workload.Profile, level workload.Level, policy, idle string, q Quality) LatencyFigure {
+	spec := Spec{
+		Policy: policy,
+		Idle:   idle,
+		Cfg: server.Config{
+			Seed:     defaultSeed,
+			Profile:  profile,
+			Level:    level,
+			Warmup:   q.warmup(),
+			Duration: q.duration(),
+		},
+	}
+	s, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	tr := NewTrace(s, 0)
+	res := s.Run()
+	from := sim.Time(q.warmup())
+	return LatencyFigure{
+		App:       profile.Name,
+		Policy:    policy,
+		Level:     level,
+		SLO:       profile.SLO,
+		Scatter:   tr.Lat.Window(from, from+sim.Time(500*sim.Millisecond)),
+		CDF:       res.Hist.CDF(101),
+		FracUnder: res.Hist.FracLE(profile.SLO),
+		Result:    res,
+	}
+}
+
+// Fig3And4 reproduces Figs 3 and 4: per-request latency and CDFs for
+// ondemand vs performance at high load on both applications.
+func Fig3And4(q Quality) []LatencyFigure {
+	var out []LatencyFigure
+	for _, prof := range workload.Profiles() {
+		for _, pol := range []string{"ondemand", "performance"} {
+			out = append(out, RunLatency(prof, workload.High, pol, "menu", q))
+		}
+	}
+	return out
+}
+
+// Fig10And11 reproduces Figs 10 and 11: the same view under NMAP.
+func Fig10And11(q Quality) []LatencyFigure {
+	var out []LatencyFigure
+	for _, prof := range workload.Profiles() {
+		out = append(out, RunLatency(prof, workload.High, "nmap", "menu", q))
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Tables 1 and 2.
+// ---------------------------------------------------------------------
+
+// Table1 reproduces Table 1 (re-transition latency, four processors ×
+// six transitions). reps defaults to the paper's 10,000 when zero.
+func Table1(reps int) []cpu.ReTransitionRow {
+	if reps == 0 {
+		reps = 10_000
+	}
+	return cpu.MeasureTable1(cpu.Models, reps, defaultSeed)
+}
+
+// Table2 reproduces Table 2 (wake-up latency, four processors × two
+// C-states). reps defaults to the paper's 100 when zero.
+func Table2(reps int) []cpu.WakeupRow {
+	if reps == 0 {
+		reps = 100
+	}
+	return cpu.MeasureTable2(cpu.Models, reps, defaultSeed)
+}
+
+// ---------------------------------------------------------------------
+// Fig 8: latency-load curve and energy across sleep-state policies.
+// ---------------------------------------------------------------------
+
+// Fig8Point is one (load, idle-policy) cell of Fig 8.
+type Fig8Point struct {
+	RPS     float64
+	Idle    string
+	P99     sim.Duration
+	EnergyJ float64
+}
+
+// Fig8 sweeps the memcached load under the performance governor for the
+// three sleep-state policies. Energy is reported raw; the caller
+// normalises to menu as the paper does.
+func Fig8(q Quality) []Fig8Point {
+	prof := workload.Memcached()
+	loads := []float64{30_000, 150_000, 290_000, 450_000, 600_000, 750_000}
+	if q == Quick {
+		loads = []float64{30_000, 290_000, 750_000}
+	}
+	var out []Fig8Point
+	for _, idle := range []string{"menu", "disable", "c6only"} {
+		for _, rps := range loads {
+			res := MustRun(Spec{
+				Policy: "performance",
+				Idle:   idle,
+				Cfg: server.Config{
+					Seed:     defaultSeed,
+					Profile:  prof,
+					RPS:      rps,
+					Warmup:   q.warmup(),
+					Duration: q.duration(),
+				},
+			})
+			out = append(out, Fig8Point{RPS: rps, Idle: idle, P99: res.Summary.P99, EnergyJ: res.EnergyJ})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Figs 12-15: the evaluation matrices.
+// ---------------------------------------------------------------------
+
+// MatrixCell is one (app, load, policy, idle) result.
+type MatrixCell struct {
+	App    string
+	Level  workload.Level
+	Policy string
+	Idle   string
+	Result server.Result
+}
+
+// RunMatrix runs the cross product of the given policies, idle policies
+// and load levels on both applications.
+func RunMatrix(policies, idles []string, q Quality) []MatrixCell {
+	var out []MatrixCell
+	for _, prof := range workload.Profiles() {
+		for _, lvl := range workload.Levels {
+			for _, pol := range policies {
+				for _, idle := range idles {
+					res := MustRun(Spec{
+						Policy: pol,
+						Idle:   idle,
+						Cfg: server.Config{
+							Seed:     defaultSeed,
+							Profile:  prof,
+							Level:    lvl,
+							Warmup:   q.warmup(),
+							Duration: q.duration(),
+						},
+					})
+					out = append(out, MatrixCell{
+						App: prof.Name, Level: lvl, Policy: pol, Idle: idle, Result: res,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Fig12And13 reproduces the Fig 12 (P99) and Fig 13 (energy) matrix:
+// five V/F policies × three sleep policies × three loads × two apps.
+func Fig12And13(q Quality) []MatrixCell {
+	idles := []string{"menu", "disable", "c6only"}
+	if q == Quick {
+		idles = []string{"menu"}
+	}
+	return RunMatrix(
+		[]string{"intel_powersave", "ondemand", "performance", "nmap-simpl", "nmap"},
+		idles, q)
+}
+
+// Fig14And15 reproduces the Fig 14 (P99, SLO-normalised) and Fig 15
+// (energy) comparison with the state-of-the-art baselines.
+func Fig14And15(q Quality) []MatrixCell {
+	return RunMatrix(
+		[]string{"ncap-menu", "ncap", "nmap-simpl", "nmap", "performance"},
+		[]string{"menu"}, q)
+}
+
+// ---------------------------------------------------------------------
+// Fig 16: randomly switching load, NMAP vs Parties.
+// ---------------------------------------------------------------------
+
+// Fig16Result is one policy's behaviour under the switching load.
+type Fig16Result struct {
+	Policy      string
+	FracOverSLO float64
+	PState      []float64      // tracked core, 1ms samples
+	Scatter     *stats.Scatter // latency (ms) vs time
+	Result      server.Result
+}
+
+// Fig16 runs memcached with the load switching uniformly among the
+// three levels every 500ms for 5 seconds, comparing NMAP and Parties.
+func Fig16(q Quality) []Fig16Result {
+	prof := workload.Memcached()
+	dur := 5 * sim.Duration(sim.Second)
+	if q == Quick {
+		dur = 1500 * sim.Millisecond
+	}
+	var out []Fig16Result
+	for _, pol := range []string{"nmap", "parties"} {
+		spec := Spec{
+			Policy: pol,
+			Idle:   "menu",
+			Cfg: server.Config{
+				Seed:           defaultSeed,
+				Profile:        prof,
+				VariableLevels: []float64{prof.LowRPS, prof.MediumRPS, prof.HighRPS},
+				SwitchPeriod:   500 * sim.Millisecond,
+				Warmup:         q.warmup(),
+				Duration:       dur,
+			},
+		}
+		s, err := Build(spec)
+		if err != nil {
+			panic(err)
+		}
+		tr := NewTrace(s, 0)
+		res := s.Run()
+		from := sim.Time(q.warmup())
+		ps := tr.PStateSeries(from + sim.Time(dur))
+		out = append(out, Fig16Result{
+			Policy:      pol,
+			FracOverSLO: res.FracOverSLO,
+			PState:      ps[int(from/sim.Time(sim.Millisecond)):],
+			Scatter:     tr.Lat.Window(from, from+sim.Time(dur)),
+			Result:      res,
+		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Ablations beyond the paper.
+// ---------------------------------------------------------------------
+
+// AblationCell is one ablation run.
+type AblationCell struct {
+	Name    string
+	P99     sim.Duration
+	EnergyJ float64
+	// Attempts counts V/F register writes issued by the policy (0 when
+	// the policy does not expose it); Transitions counts the writes
+	// that actually took effect. On server parts the gap is the §5.1
+	// "transitions not reflected" effect.
+	Attempts    int64
+	Transitions int64
+	Violated    bool
+}
+
+// AblationPerRequest contrasts NMAP with a per-request DVFS policy on
+// hardware with realistic re-transition latency (§5.1's argument: the
+// per-request policy issues orders of magnitude more V/F writes than
+// ever take effect, so its fine-grained decisions are simply not
+// reflected by the processor).
+func AblationPerRequest(q Quality) []AblationCell {
+	prof := workload.Memcached()
+	cfg := server.Config{
+		Seed: defaultSeed, Profile: prof, Level: workload.High,
+		Warmup: q.warmup(), Duration: q.duration(),
+	}
+	var out []AblationCell
+	for _, pol := range []string{"nmap", "ondemand"} {
+		res := MustRun(Spec{Policy: pol, Idle: "menu", Cfg: cfg})
+		out = append(out, AblationCell{
+			Name: pol, P99: res.Summary.P99, EnergyJ: res.EnergyJ,
+			Transitions: res.Transitions, Violated: res.Violated,
+		})
+	}
+	// Assemble the per-request policy by hand to keep a handle on its
+	// attempted-write counter.
+	idle, _ := governor.NewIdlePolicy("menu")
+	s := server.New(cfg, idle)
+	pr := baselines.NewPerRequest(s.Eng, s.Proc, s.Kernels)
+	s.AddListener(pr)
+	s.AttachPolicy(pr)
+	res := s.Run()
+	out = append(out, AblationCell{
+		Name: "perrequest", P99: res.Summary.P99, EnergyJ: res.EnergyJ,
+		Attempts: pr.Requests, Transitions: res.Transitions, Violated: res.Violated,
+	})
+	return out
+}
+
+// AblationThresholds sweeps NI_TH around the profiled value to show the
+// detection-latency/energy trade-off.
+func AblationThresholds(q Quality) []AblationCell {
+	prof := workload.Memcached()
+	base := ProfiledThresholds(prof, 1042)
+	var out []AblationCell
+	for _, mult := range []float64{0.25, 0.5, 1, 2, 4} {
+		th := base
+		th.NITh = base.NITh * mult
+		res := MustRun(Spec{
+			Policy:     "nmap",
+			Idle:       "menu",
+			Thresholds: th,
+			Cfg: server.Config{
+				Seed: defaultSeed, Profile: prof, Level: workload.High,
+				Warmup: q.warmup(), Duration: q.duration(),
+			},
+		})
+		out = append(out, AblationCell{
+			Name: "NI_TH x" + ftoa(mult), P99: res.Summary.P99,
+			EnergyJ: res.EnergyJ, Transitions: res.Transitions, Violated: res.Violated,
+		})
+	}
+	return out
+}
+
+// AblationChipWide contrasts per-core NMAP with a chip-wide variant
+// (the §6.3 argument for why NMAP beats NCAP).
+func AblationChipWide(q Quality) []AblationCell {
+	prof := workload.Memcached()
+	var out []AblationCell
+	for _, chipWide := range []bool{false, true} {
+		name := "nmap-per-core"
+		if chipWide {
+			name = "nmap-chip-wide"
+		}
+		res := MustRun(Spec{
+			Policy: "nmap",
+			Idle:   "menu",
+			Cfg: server.Config{
+				Seed: defaultSeed, Profile: prof, Level: workload.Medium,
+				Warmup: q.warmup(), Duration: q.duration(),
+				ForceChipWide: chipWide,
+			},
+		})
+		out = append(out, AblationCell{
+			Name: name, P99: res.Summary.P99, EnergyJ: res.EnergyJ,
+			Transitions: res.Transitions, Violated: res.Violated,
+		})
+	}
+	return out
+}
+
+// AblationExtensions compares stock NMAP against the two future-work
+// extensions: online threshold tuning (no offline profiling) and
+// sleep-state integration.
+func AblationExtensions(q Quality) []AblationCell {
+	prof := workload.Memcached()
+	var out []AblationCell
+	for _, pol := range []string{"nmap", "nmap-online", "nmap-sleep"} {
+		res := MustRun(Spec{
+			Policy: pol,
+			Idle:   "menu",
+			Cfg: server.Config{
+				Seed: defaultSeed, Profile: prof, Level: workload.High,
+				Warmup: q.warmup(), Duration: q.duration(),
+			},
+		})
+		out = append(out, AblationCell{
+			Name: pol, P99: res.Summary.P99, EnergyJ: res.EnergyJ,
+			Transitions: res.Transitions, Violated: res.Violated,
+		})
+	}
+	return out
+}
+
+// AblationRSS shows why per-core DVFS beats chip-wide when RSS is
+// lumpy (§6.3): with few client connections the per-queue loads differ,
+// so pulling every core to the hottest core's frequency wastes energy.
+func AblationRSS(q Quality) []AblationCell {
+	prof := workload.Memcached()
+	var out []AblationCell
+	for _, flows := range []int{40, 12} {
+		for _, chipWide := range []bool{false, true} {
+			name := "per-core"
+			if chipWide {
+				name = "chip-wide"
+			}
+			if flows == 40 {
+				name += "/even-rss"
+			} else {
+				name += "/lumpy-rss"
+			}
+			res := MustRun(Spec{
+				Policy: "nmap",
+				Idle:   "menu",
+				Cfg: server.Config{
+					Seed: defaultSeed, Profile: prof, Level: workload.Medium,
+					Flows: flows, LumpyRSS: flows != 40, ForceChipWide: chipWide,
+					Warmup: q.warmup(), Duration: q.duration(),
+				},
+			})
+			out = append(out, AblationCell{
+				Name: name, P99: res.Summary.P99, EnergyJ: res.EnergyJ,
+				Transitions: res.Transitions, Violated: res.Violated,
+			})
+		}
+	}
+	return out
+}
+
+// AblationITR sweeps the NIC interrupt-throttle period: the ITR sets
+// how often the NAPI mode counters get a fresh interrupt window and how
+// bursty the hardirq load is, so it bounds NMAP's detection texture.
+func AblationITR(q Quality) []AblationCell {
+	prof := workload.Memcached()
+	var out []AblationCell
+	for _, itr := range []sim.Duration{5 * sim.Microsecond, 10 * sim.Microsecond,
+		20 * sim.Microsecond, 50 * sim.Microsecond} {
+		res := MustRun(Spec{
+			Policy: "nmap",
+			Idle:   "menu",
+			Cfg: server.Config{
+				Seed: defaultSeed, Profile: prof, Level: workload.High,
+				ITR:    itr,
+				Warmup: q.warmup(), Duration: q.duration(),
+			},
+		})
+		out = append(out, AblationCell{
+			Name: "ITR=" + itr.String(), P99: res.Summary.P99, EnergyJ: res.EnergyJ,
+			Transitions: res.Transitions, Violated: res.Violated,
+		})
+	}
+	return out
+}
+
+func ftoa(f float64) string {
+	switch f {
+	case 0.25:
+		return "0.25"
+	case 0.5:
+		return "0.5"
+	case 1:
+		return "1"
+	case 2:
+		return "2"
+	case 4:
+		return "4"
+	}
+	return "?"
+}

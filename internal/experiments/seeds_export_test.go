@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"nmapsim/internal/core"
+	"nmapsim/internal/server"
+	"nmapsim/internal/sim"
+	"nmapsim/internal/workload"
+)
+
+func TestRunSeedsAggregates(t *testing.T) {
+	spec := quickSpec("ondemand")
+	agg, err := RunSeeds(spec, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.P99Ms.N != 3 || len(agg.Runs) != 3 {
+		t.Fatalf("N = %d", agg.P99Ms.N)
+	}
+	if agg.P99Ms.Mean <= 0 || agg.EnergyJ.Mean <= 0 {
+		t.Fatalf("empty stats: %+v", agg)
+	}
+	// Different seeds must actually differ a little.
+	if agg.P99Ms.Stdev == 0 && agg.EnergyJ.Stdev == 0 {
+		t.Fatal("zero variance across seeds is implausible")
+	}
+}
+
+func TestStatOf(t *testing.T) {
+	s := statOf([]float64{2, 4, 6})
+	if s.Mean != 4 || s.N != 3 {
+		t.Fatalf("stat = %+v", s)
+	}
+	if math.Abs(s.Stdev-2) > 1e-9 {
+		t.Fatalf("stdev = %f, want 2 (sample)", s.Stdev)
+	}
+	if z := statOf(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty stat = %+v", z)
+	}
+}
+
+func TestRelativeEnergy(t *testing.T) {
+	a := SeededResult{EnergyJ: Stat{Mean: 50, Stdev: 1, N: 3}}
+	b := SeededResult{EnergyJ: Stat{Mean: 100, Stdev: 2, N: 3}}
+	r := RelativeEnergy(a, b)
+	if math.Abs(r.Mean-0.5) > 1e-9 {
+		t.Fatalf("ratio = %f", r.Mean)
+	}
+	if r.Stdev <= 0 || r.Stdev > 0.05 {
+		t.Fatalf("propagated stdev = %f", r.Stdev)
+	}
+	if z := RelativeEnergy(a, SeededResult{}); z.Mean != 0 {
+		t.Fatal("zero denominator must yield zero stat")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	spec := quickSpec("nmap")
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecord(spec, res, true)
+	if rec.App != "memcached" || rec.Policy != "nmap" || rec.Idle != "menu" {
+		t.Fatalf("record header wrong: %+v", rec)
+	}
+	if rec.Level != "low" {
+		t.Fatalf("level = %q", rec.Level)
+	}
+	if len(rec.CDF) == 0 {
+		t.Fatal("CDF missing")
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("round trip returned %d records", len(back))
+	}
+	if back[0].P99Ms != rec.P99Ms || back[0].EnergyJ != rec.EnergyJ ||
+		back[0].App != rec.App || len(back[0].CDF) != len(rec.CDF) {
+		t.Fatal("fields lost in round trip")
+	}
+}
+
+func TestSchedutilPolicyBuilds(t *testing.T) {
+	res, err := Run(quickSpec("schedutil"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.N == 0 {
+		t.Fatal("schedutil run empty")
+	}
+}
+
+func TestExtensionPoliciesRun(t *testing.T) {
+	for _, pol := range []string{"nmap-online", "nmap-sleep"} {
+		spec := quickSpec(pol)
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if res.Summary.N == 0 {
+			t.Fatalf("%s run empty", pol)
+		}
+	}
+}
+
+func TestFlowsOverrideChangesBalance(t *testing.T) {
+	run := func(flows int) (minDone, maxDone uint64) {
+		cfg := server.Config{
+			Seed: 5, Profile: workload.Memcached(), Level: workload.Medium,
+			Flows:  flows,
+			Warmup: 50 * sim.Millisecond, Duration: 200 * sim.Millisecond,
+		}
+		s, err := Build(Spec{Policy: "performance", Idle: "menu", Cfg: cfg,
+			Thresholds: core.Thresholds{NITh: 32, CUTh: 0.25}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+		minDone, maxDone = ^uint64(0), 0
+		for _, k := range s.Kernels {
+			d := k.Counters().Completed
+			if d < minDone {
+				minDone = d
+			}
+			if d > maxDone {
+				maxDone = d
+			}
+		}
+		return
+	}
+	minE, maxE := run(40)
+	minL, maxL := run(9)
+	evenSpread := float64(maxE) / float64(minE+1)
+	lumpySpread := float64(maxL) / float64(minL+1)
+	if lumpySpread <= evenSpread {
+		t.Fatalf("9 flows spread %.2f not lumpier than 40 flows %.2f", lumpySpread, evenSpread)
+	}
+}
+
+func TestPegasusPolicyBuilds(t *testing.T) {
+	res, err := Run(quickSpec("pegasus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.N == 0 {
+		t.Fatal("pegasus run empty")
+	}
+}
+
+func TestMicroServiceProfile(t *testing.T) {
+	p := MicroService()
+	if p.SLO != 90*sim.Microsecond {
+		t.Fatalf("usvc SLO = %v", p.SLO)
+	}
+	rng := sim.NewRNG(1)
+	var sum float64
+	for i := 0; i < 50000; i++ {
+		sum += p.SampleAppCycles(rng)
+	}
+	if m := sum / 50000; m < 3800 || m > 4200 {
+		t.Fatalf("usvc mean cycles %f, want ~4000", m)
+	}
+}
+
+func TestAblationMicroSLOShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cells := AblationMicroSLO(Quick)
+	byKey := map[string]MicroSLOCell{}
+	for _, c := range cells {
+		byKey[c.Policy+"/"+c.Idle] = c
+	}
+	dis := byKey["performance/disable"]
+	menu := byKey["performance/menu"]
+	c6 := byKey["performance/c6only"]
+	// §8 shape: at a µs-scale SLO the sleep policy orders the tail...
+	if !(dis.P99 < menu.P99 && menu.P99 < c6.P99) {
+		t.Fatalf("P99 order wrong: disable %v, menu %v, c6only %v", dis.P99, menu.P99, c6.P99)
+	}
+	// ...and the energy order is the reverse.
+	if !(dis.EnergyJ > menu.EnergyJ && menu.EnergyJ > c6.EnergyJ) {
+		t.Fatalf("energy order wrong: %f %f %f", dis.EnergyJ, menu.EnergyJ, c6.EnergyJ)
+	}
+	if dis.Violated {
+		t.Fatal("disable must meet the µs SLO")
+	}
+	if !c6.Violated {
+		t.Fatal("c6only must violate the µs SLO (wake + flush penalty)")
+	}
+}

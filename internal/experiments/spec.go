@@ -1,0 +1,221 @@
+// Package experiments contains the harness that regenerates every table
+// and figure of the paper's evaluation: policy assembly by name, the
+// offline NMAP threshold profiling of §4.2, time-series tracing for the
+// figure plots, and one runner per experiment.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"nmapsim/internal/baselines"
+	"nmapsim/internal/core"
+	"nmapsim/internal/governor"
+	"nmapsim/internal/server"
+	"nmapsim/internal/sim"
+	"nmapsim/internal/workload"
+)
+
+// PolicyNames lists every power-management policy the harness can run.
+var PolicyNames = []string{
+	"performance", "powersave", "userspace", "ondemand", "conservative",
+	"intel_powersave", "schedutil", "nmap", "nmap-simpl", "nmap-online", "nmap-sleep",
+	"ncap", "ncap-menu", "parties", "pegasus", "perrequest",
+}
+
+// Spec describes one run: a policy, an idle (C-state) policy, and the
+// server configuration.
+type Spec struct {
+	Policy string
+	Idle   string // "menu", "disable", "c6only"
+	Cfg    server.Config
+	// UserspaceP is the fixed state for the userspace policy.
+	UserspaceP int
+	// Thresholds overrides the profiled NMAP thresholds when non-zero.
+	Thresholds core.Thresholds
+}
+
+// thresholdCache memoises the §4.2 profiling per (profile, seed) so the
+// big evaluation matrices don't re-profile for every cell.
+var (
+	thMu    sync.Mutex
+	thCache = map[string]core.Thresholds{}
+)
+
+// ProfiledThresholds runs the offline profiling of §4.2 for a workload
+// profile: the server runs at the load used to set the SLO (the high
+// load level — the latency-load inflection point), a Profiler listens
+// to the NAPI events over a few bursts, and the thresholds are derived
+// from the first 100 interrupts of each burst (NI_TH) and the per-burst
+// polling-to-interrupt ratio (CU_TH).
+func ProfiledThresholds(profile *workload.Profile, seed uint64) core.Thresholds {
+	key := fmt.Sprintf("%s/%d", profile.Name, seed)
+	thMu.Lock()
+	if th, ok := thCache[key]; ok {
+		thMu.Unlock()
+		return th
+	}
+	thMu.Unlock()
+
+	cfg := server.Config{
+		Seed:     seed,
+		Profile:  profile,
+		Level:    workload.High,
+		Warmup:   0,
+		Duration: 400 * sim.Millisecond, // four bursts
+	}
+	idle, _ := governor.NewIdlePolicy("menu")
+	s := server.New(cfg, idle)
+	// Profiling runs at the SLO-setting load under the system's default
+	// governor (ondemand, as deployed before NMAP takes over): the
+	// first 100 interrupts of each burst then capture the polling
+	// intensity of a burst's early part *before* the load reaches the
+	// peak, which is exactly the boost trigger NMAP needs (§4.2).
+	s.AttachPolicy(governor.NewStack(s.Eng, s.Proc, governor.Ondemand{Model: s.Cfg.Model}, 0))
+	prof := core.NewProfiler(s.Eng)
+	s.AddListener(prof)
+	s.Run()
+	th := prof.Thresholds()
+
+	thMu.Lock()
+	thCache[key] = th
+	thMu.Unlock()
+	return th
+}
+
+// Build assembles the server and its policy without running it, so
+// callers can attach tracers first. The returned cleanup is currently a
+// no-op but kept for symmetry with future resources.
+func Build(spec Spec) (*server.Server, error) {
+	idleName := spec.Idle
+	if idleName == "" {
+		idleName = "menu"
+	}
+	inner, ok := governor.NewIdlePolicy(idleName)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown idle policy %q", idleName)
+	}
+
+	cfg := spec.Cfg
+	switch spec.Policy {
+	case "ncap", "ncap-menu":
+		// NCAP is a chip-wide design.
+		cfg.ForceChipWide = true
+	}
+
+	var sw *baselines.SwitchableIdle
+	idle := inner
+	if spec.Policy == "ncap" || spec.Policy == "nmap-sleep" {
+		// Plain NCAP (and the sleep-integrated NMAP extension) disable
+		// sleep states while boosted.
+		sw = baselines.NewSwitchableIdle(inner)
+		idle = sw
+	}
+
+	s := server.New(cfg, idle)
+	m := s.Cfg.Model
+
+	newStack := func(g governor.CPUGovernor) *governor.Stack {
+		return governor.NewStack(s.Eng, s.Proc, g, 10*sim.Millisecond)
+	}
+
+	switch spec.Policy {
+	case "performance":
+		s.AttachPolicy(newStack(governor.Performance{}))
+	case "powersave":
+		s.AttachPolicy(newStack(governor.Powersave{Model: m}))
+	case "userspace":
+		s.AttachPolicy(newStack(governor.Userspace{Model: m, P: spec.UserspaceP}))
+	case "ondemand":
+		s.AttachPolicy(newStack(governor.Ondemand{Model: m}))
+	case "conservative":
+		s.AttachPolicy(newStack(&governor.Conservative{Model: m}))
+	case "intel_powersave":
+		s.AttachPolicy(newStack(&governor.IntelPowersave{Model: m}))
+	case "schedutil":
+		s.AttachPolicy(newStack(&governor.Schedutil{Model: m}))
+	case "nmap":
+		th := spec.Thresholds
+		if th == (core.Thresholds{}) {
+			th = ProfiledThresholds(s.Cfg.Profile, 1000+s.Cfg.Seed%4)
+		}
+		n := core.NewNMAP(s.Eng, s.Proc, newStack(governor.Ondemand{Model: m}), th, 10*sim.Millisecond)
+		s.AddListener(n)
+		s.AttachPolicy(n)
+	case "nmap-simpl":
+		n := core.NewNMAPSimpl(s.Eng, s.Proc, newStack(governor.Ondemand{Model: m}))
+		s.AddListener(n)
+		s.AttachPolicy(n)
+	case "nmap-online":
+		// Extension (§4.2 future work): start from the conservative
+		// defaults and let the online tuner adapt the thresholds from
+		// the live NAPI stream — no offline profiling run required.
+		n := core.NewNMAP(s.Eng, s.Proc, newStack(governor.Ondemand{Model: m}), core.DefaultThresholds(), 10*sim.Millisecond)
+		tuner := core.NewOnlineTuner(s.Eng, n)
+		s.AddListener(n)
+		s.AddListener(tuner)
+		s.AttachPolicy(n)
+	case "nmap-sleep":
+		// Extension (§8 future work): NMAP with sleep-state integration
+		// — deep sleep is disabled while any core is in Network
+		// Intensive Mode.
+		th := spec.Thresholds
+		if th == (core.Thresholds{}) {
+			th = ProfiledThresholds(s.Cfg.Profile, 1000+s.Cfg.Seed%4)
+		}
+		n := core.NewNMAP(s.Eng, s.Proc, newStack(governor.Ondemand{Model: m}), th, 10*sim.Millisecond)
+		n.IntegrateSleep(sw)
+		s.AddListener(n)
+		s.AttachPolicy(n)
+	case "ncap", "ncap-menu":
+		th := ncapThreshold(s.Cfg.Profile)
+		n := baselines.NewNCAP(s.Eng, s.Proc, newStack(governor.Ondemand{Model: m}), th, sw)
+		s.AddListener(n)
+		s.AttachPolicy(n)
+	case "parties":
+		p := baselines.NewParties(s.Eng, s.Proc, s.Cfg.Profile.SLO)
+		s.OnDone = p.Observe
+		s.AttachPolicy(p)
+	case "pegasus":
+		p := baselines.NewPegasus(s.Eng, s.Proc, s.Cfg.Profile.SLO)
+		s.OnDone = p.Observe
+		s.AttachPolicy(p)
+	case "perrequest":
+		p := baselines.NewPerRequest(s.Eng, s.Proc, s.Kernels)
+		s.AddListener(p)
+		s.AttachPolicy(p)
+	default:
+		return nil, fmt.Errorf("experiments: unknown policy %q", spec.Policy)
+	}
+	return s, nil
+}
+
+// ncapThreshold is the §6.3 tuning: high enough not to trip on the
+// low-load burst peaks (which would waste energy at low load), low
+// enough to catch medium/high bursts within one monitoring period — the
+// geometric mean of the two peak rates.
+func ncapThreshold(p *workload.Profile) float64 {
+	lo := p.Burst.PeakRate(p.LowRPS)
+	med := p.Burst.PeakRate(p.MediumRPS)
+	return math.Sqrt(lo * med)
+}
+
+// Run builds and runs one spec.
+func Run(spec Spec) (server.Result, error) {
+	s, err := Build(spec)
+	if err != nil {
+		return server.Result{}, err
+	}
+	return s.Run(), nil
+}
+
+// MustRun is Run with a panic on assembly errors (experiment tables use
+// fixed, known-good names).
+func MustRun(spec Spec) server.Result {
+	r, err := Run(spec)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

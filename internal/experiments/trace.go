@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"nmapsim/internal/kernel"
+	"nmapsim/internal/server"
+	"nmapsim/internal/sim"
+	"nmapsim/internal/stats"
+	"nmapsim/internal/workload"
+)
+
+// Trace captures the per-millisecond time series the paper's trace
+// figures plot: packets processed in interrupt vs polling mode,
+// ksoftirqd wake marks, the P-state of a tracked core, CC6 entries, and
+// the per-request latency scatter.
+type Trace struct {
+	// Core is the tracked core for the P-state series (the paper plots
+	// "the core that runs one of the memcached or nginx threads").
+	Core int
+
+	PktIntr  *stats.Counter
+	PktPoll  *stats.Counter
+	KsWakes  *stats.Counter
+	CC6Entry *stats.Counter
+	PState   *stats.Gauge
+	Lat      *stats.Scatter
+
+	eng *sim.Engine
+}
+
+// NewTrace attaches a tracer to the server: NAPI listeners on every
+// core, the P-state hook on the tracked core, a CC6-entry sampler, and
+// the request-completion scatter.
+func NewTrace(s *server.Server, trackedCore int) *Trace {
+	t := &Trace{
+		Core:     trackedCore,
+		PktIntr:  stats.NewCounter(sim.Millisecond),
+		PktPoll:  stats.NewCounter(sim.Millisecond),
+		KsWakes:  stats.NewCounter(sim.Millisecond),
+		CC6Entry: stats.NewCounter(sim.Millisecond),
+		PState:   stats.NewGauge(float64(s.Proc.Cores[trackedCore].PState())),
+		Lat:      &stats.Scatter{},
+		eng:      s.Eng,
+	}
+	s.AddListener((*traceListener)(t))
+	s.Proc.Cores[trackedCore].OnPStateChange = func(p int) {
+		t.PState.Set(s.Eng.Now(), float64(p))
+	}
+	var lastCC6 int64
+	s.Eng.Ticker(sim.Millisecond, func() {
+		cur := s.Proc.Cores[trackedCore].Snapshot().CC6Entries
+		if d := cur - lastCC6; d > 0 {
+			t.CC6Entry.Add(s.Eng.Now()-1, float64(d))
+		}
+		lastCC6 = cur
+	})
+	prev := s.OnDone
+	s.OnDone = func(r *workload.Request) {
+		t.Lat.Add(r.Done, sim.Duration(r.Done-r.Sent).Millis())
+		if prev != nil {
+			prev(r)
+		}
+	}
+	return t
+}
+
+// traceListener adapts Trace to kernel.NAPIListener, filtering to the
+// tracked core (the figures plot a single core's view).
+type traceListener Trace
+
+func (t *traceListener) InterruptArrived(coreID int) {}
+
+func (t *traceListener) PacketsProcessed(coreID int, m kernel.Mode, n int) {
+	if coreID != t.Core {
+		return
+	}
+	if m == kernel.InterruptMode {
+		t.PktIntr.Add(t.eng.Now(), float64(n))
+	} else {
+		t.PktPoll.Add(t.eng.Now(), float64(n))
+	}
+}
+
+func (t *traceListener) KsoftirqdWake(coreID int) {
+	if coreID == t.Core {
+		t.KsWakes.Add(t.eng.Now(), 1)
+	}
+}
+
+func (t *traceListener) KsoftirqdSleep(coreID int) {}
+
+// PStateSeries samples the tracked core's P-state per millisecond over
+// [0, horizon).
+func (t *Trace) PStateSeries(horizon sim.Time) []float64 {
+	return t.PState.Sample(sim.Millisecond, horizon)
+}

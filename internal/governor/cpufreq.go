@@ -1,0 +1,166 @@
+package governor
+
+import (
+	"fmt"
+
+	"nmapsim/internal/cpu"
+)
+
+// Performance statically holds every core at P0 (§2.2).
+type Performance struct{}
+
+// Name implements CPUGovernor.
+func (Performance) Name() string { return "performance" }
+
+// Decide implements CPUGovernor.
+func (Performance) Decide(int, UtilSample) int { return 0 }
+
+// Powersave statically holds every core at the slowest state.
+type Powersave struct{ Model *cpu.Model }
+
+// Name implements CPUGovernor.
+func (Powersave) Name() string { return "powersave" }
+
+// Decide implements CPUGovernor.
+func (g Powersave) Decide(int, UtilSample) int { return g.Model.MaxP() }
+
+// Userspace holds every core at a user-chosen state.
+type Userspace struct {
+	Model *cpu.Model
+	P     int
+}
+
+// Name implements CPUGovernor.
+func (g Userspace) Name() string { return fmt.Sprintf("userspace(P%d)", g.P) }
+
+// Decide implements CPUGovernor.
+func (g Userspace) Decide(int, UtilSample) int { return g.P }
+
+// utilToPState maps a utilisation to the slowest P-state whose frequency
+// still covers util/upThreshold of the maximum frequency — the classic
+// ondemand frequency ladder.
+func utilToPState(m *cpu.Model, util, upThreshold float64) int {
+	if util >= upThreshold {
+		return 0
+	}
+	fmax := m.PStates[0].FreqGHz
+	fmin := m.PStates[m.MaxP()].FreqGHz
+	target := fmin + (util/upThreshold)*(fmax-fmin)
+	// Pick the slowest state with frequency >= target.
+	for p := m.MaxP(); p >= 0; p-- {
+		if m.PStates[p].FreqGHz >= target {
+			return p
+		}
+	}
+	return 0
+}
+
+// Ondemand is the classic cpufreq ondemand governor: jump to P0 when
+// busy utilisation exceeds the up-threshold (80%), otherwise scale
+// frequency proportionally to utilisation (§2.2).
+type Ondemand struct {
+	Model *cpu.Model
+	// UpThreshold defaults to 0.80 when zero.
+	UpThreshold float64
+}
+
+// Name implements CPUGovernor.
+func (Ondemand) Name() string { return "ondemand" }
+
+func (g Ondemand) up() float64 {
+	if g.UpThreshold == 0 {
+		return 0.80
+	}
+	return g.UpThreshold
+}
+
+// Decide implements CPUGovernor.
+func (g Ondemand) Decide(_ int, u UtilSample) int {
+	return utilToPState(g.Model, u.Busy, g.up())
+}
+
+// Conservative steps the P-state gradually toward the load instead of
+// jumping (§2.2: "gradually adjusts the next V/F state by transitioning
+// to a value near the current V/F state").
+type Conservative struct {
+	Model *cpu.Model
+	// UpThreshold / DownThreshold default to 0.80 / 0.20.
+	UpThreshold, DownThreshold float64
+
+	cur []int
+}
+
+// Name implements CPUGovernor.
+func (*Conservative) Name() string { return "conservative" }
+
+// Decide implements CPUGovernor.
+func (g *Conservative) Decide(coreID int, u UtilSample) int {
+	up, down := g.UpThreshold, g.DownThreshold
+	if up == 0 {
+		up = 0.80
+	}
+	if down == 0 {
+		down = 0.20
+	}
+	if g.cur == nil {
+		g.cur = make([]int, g.Model.NumCores)
+		for i := range g.cur {
+			g.cur[i] = g.Model.MaxP()
+		}
+	}
+	c := g.cur[coreID]
+	switch {
+	case u.Busy > up && c > 0:
+		c--
+	case u.Busy < down && c < g.Model.MaxP():
+		c++
+	}
+	g.cur[coreID] = c
+	return c
+}
+
+// IntelPowersave models the intel_pstate driver's powersave governor: it
+// derives utilisation from CC0 residency (so with C-states disabled it
+// reads 100% and pegs P0 — the footnote behaviour in §6.2) and smooths
+// it with an asymmetric EWMA — quick to shed frequency when load falls,
+// slow to ramp when load rises (the busy-fraction setpoint controller's
+// behaviour) — which is why it violates the SLO by larger factors than
+// ondemand in Figs 12/14.
+type IntelPowersave struct {
+	Model *cpu.Model
+	// AlphaUp is the EWMA weight of a sample above the current estimate
+	// (defaults to 0.2); AlphaDown applies when the sample is below it
+	// (defaults to 0.6).
+	AlphaUp, AlphaDown float64
+	// UpThreshold defaults to 0.80.
+	UpThreshold float64
+
+	ewma []float64
+}
+
+// Name implements CPUGovernor.
+func (*IntelPowersave) Name() string { return "intel_powersave" }
+
+// Decide implements CPUGovernor.
+func (g *IntelPowersave) Decide(coreID int, u UtilSample) int {
+	up := g.UpThreshold
+	if up == 0 {
+		up = 0.80
+	}
+	aUp, aDown := g.AlphaUp, g.AlphaDown
+	if aUp == 0 {
+		aUp = 0.2
+	}
+	if aDown == 0 {
+		aDown = 0.6
+	}
+	if g.ewma == nil {
+		g.ewma = make([]float64, g.Model.NumCores)
+	}
+	a := aUp
+	if u.CC0 < g.ewma[coreID] {
+		a = aDown
+	}
+	g.ewma[coreID] = (1-a)*g.ewma[coreID] + a*u.CC0
+	return utilToPState(g.Model, g.ewma[coreID], up)
+}

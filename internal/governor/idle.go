@@ -1,0 +1,149 @@
+package governor
+
+import (
+	"nmapsim/internal/cpu"
+	"nmapsim/internal/sim"
+)
+
+// Disable is the "disable" idle policy of §5.2: the core never leaves
+// CC0 (poll idle). intel_powersave consequently reads 100% CC0
+// residency and pegs P0.
+type Disable struct{}
+
+// Name implements kernel.IdlePolicy.
+func (Disable) Name() string { return "disable" }
+
+// SelectState implements kernel.IdlePolicy.
+func (Disable) SelectState(int) cpu.CState { return cpu.CC0 }
+
+// IdleEnded implements kernel.IdlePolicy.
+func (Disable) IdleEnded(int, sim.Duration) {}
+
+// C6Only is the "c6only" policy of §5.2: every idle period goes straight
+// to the deepest state.
+type C6Only struct{}
+
+// Name implements kernel.IdlePolicy.
+func (C6Only) Name() string { return "c6only" }
+
+// SelectState implements kernel.IdlePolicy.
+func (C6Only) SelectState(int) cpu.CState { return cpu.CC6 }
+
+// IdleEnded implements kernel.IdlePolicy.
+func (C6Only) IdleEnded(int, sim.Duration) {}
+
+// Menu models the Linux menu governor (§2.2): it predicts the next idle
+// interval from the recent idle history of each core and picks the
+// deepest C-state whose break-even residency the prediction covers.
+type Menu struct {
+	// CC6Breakeven is the minimum predicted idle interval that makes
+	// CC6 worthwhile (wake latency + flush penalty amortisation);
+	// defaults to 200µs.
+	CC6Breakeven sim.Duration
+	// CC1Breakeven defaults to 2µs.
+	CC1Breakeven sim.Duration
+
+	hist map[int]*menuHist
+}
+
+const menuHistLen = 8
+
+type menuHist struct {
+	vals [menuHistLen]sim.Duration
+	n    int
+	idx  int
+}
+
+func (h *menuHist) add(d sim.Duration) {
+	h.vals[h.idx] = d
+	h.idx = (h.idx + 1) % menuHistLen
+	if h.n < menuHistLen {
+		h.n++
+	}
+}
+
+// predict returns a conservative estimate of the next idle interval: the
+// mean of the recent history, shrunk toward the minimum to avoid
+// over-deep sleeps after a burst of short idles (the menu governor's
+// "typical interval" heuristic).
+func (h *menuHist) predict() sim.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	var sum sim.Duration
+	min := h.vals[0]
+	for i := 0; i < h.n; i++ {
+		sum += h.vals[i]
+		if h.vals[i] < min {
+			min = h.vals[i]
+		}
+	}
+	mean := sum / sim.Duration(h.n)
+	return (mean + min) / 2
+}
+
+// Name implements kernel.IdlePolicy.
+func (*Menu) Name() string { return "menu" }
+
+// SelectState implements kernel.IdlePolicy.
+func (m *Menu) SelectState(coreID int) cpu.CState {
+	cc6 := m.CC6Breakeven
+	if cc6 == 0 {
+		cc6 = 200 * sim.Microsecond
+	}
+	cc1 := m.CC1Breakeven
+	if cc1 == 0 {
+		cc1 = 2 * sim.Microsecond
+	}
+	if m.hist == nil {
+		m.hist = make(map[int]*menuHist)
+	}
+	h := m.hist[coreID]
+	if h == nil {
+		h = &menuHist{}
+		m.hist[coreID] = h
+	}
+	p := h.predict()
+	switch {
+	case h.n == 0:
+		// No history yet: be shallow.
+		return cpu.CC1
+	case p >= cc6:
+		return cpu.CC6
+	case p >= cc1:
+		return cpu.CC1
+	default:
+		return cpu.CC0
+	}
+}
+
+// IdleEnded implements kernel.IdlePolicy.
+func (m *Menu) IdleEnded(coreID int, d sim.Duration) {
+	if m.hist == nil {
+		m.hist = make(map[int]*menuHist)
+	}
+	h := m.hist[coreID]
+	if h == nil {
+		h = &menuHist{}
+		m.hist[coreID] = h
+	}
+	h.add(d)
+}
+
+// NewIdlePolicy returns the idle policy with the given name: "menu",
+// "disable" or "c6only".
+func NewIdlePolicy(name string) (interface {
+	Name() string
+	SelectState(int) cpu.CState
+	IdleEnded(int, sim.Duration)
+}, bool) {
+	switch name {
+	case "menu":
+		return &Menu{}, true
+	case "disable":
+		return Disable{}, true
+	case "c6only":
+		return C6Only{}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,74 @@
+package governor
+
+import (
+	"nmapsim/internal/cpu"
+)
+
+// Schedutil models the modern Linux default governor (not part of the
+// paper's comparison, provided as an extension): it maps utilisation to
+// frequency with the kernel's 1.25 headroom formula
+//
+//	f_target = 1.25 · f_max · util
+//
+// and applies a rate limit — downward moves are held off until the
+// utilisation has been below the current level for HoldTicks samples,
+// which suppresses the flapping ondemand shows around the threshold.
+type Schedutil struct {
+	Model *cpu.Model
+	// Headroom defaults to 1.25 (the kernel's C constant).
+	Headroom float64
+	// HoldTicks is the number of consecutive samples a lower target
+	// must persist before the frequency drops (default 2).
+	HoldTicks int
+
+	cur  []int
+	hold []int
+}
+
+// Name implements CPUGovernor.
+func (*Schedutil) Name() string { return "schedutil" }
+
+// Decide implements CPUGovernor.
+func (g *Schedutil) Decide(coreID int, u UtilSample) int {
+	headroom := g.Headroom
+	if headroom == 0 {
+		headroom = 1.25
+	}
+	holdN := g.HoldTicks
+	if holdN == 0 {
+		holdN = 2
+	}
+	if g.cur == nil {
+		g.cur = make([]int, g.Model.NumCores)
+		g.hold = make([]int, g.Model.NumCores)
+		for i := range g.cur {
+			g.cur[i] = g.Model.MaxP()
+		}
+	}
+	fmax := g.Model.PStates[0].FreqGHz
+	target := headroom * fmax * u.Busy
+	// Slowest state whose frequency covers the target.
+	next := 0
+	for p := g.Model.MaxP(); p >= 0; p-- {
+		if g.Model.PStates[p].FreqGHz >= target {
+			next = p
+			break
+		}
+	}
+	switch {
+	case next < g.cur[coreID]:
+		// Upward (faster): apply immediately.
+		g.cur[coreID] = next
+		g.hold[coreID] = 0
+	case next > g.cur[coreID]:
+		// Downward: require persistence.
+		g.hold[coreID]++
+		if g.hold[coreID] >= holdN {
+			g.cur[coreID] = next
+			g.hold[coreID] = 0
+		}
+	default:
+		g.hold[coreID] = 0
+	}
+	return g.cur[coreID]
+}

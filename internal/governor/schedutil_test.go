@@ -1,0 +1,64 @@
+package governor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nmapsim/internal/cpu"
+)
+
+func TestSchedutilHeadroomFormula(t *testing.T) {
+	g := &Schedutil{Model: cpu.XeonGold6134}
+	// util 0.8 → target 1.25·3.2·0.8 = 3.2 GHz → P0 immediately.
+	if p := g.Decide(0, UtilSample{Busy: 0.8}); p != 0 {
+		t.Fatalf("util 0.8 → P%d, want P0", p)
+	}
+}
+
+func TestSchedutilRampsUpInstantly(t *testing.T) {
+	g := &Schedutil{Model: cpu.XeonGold6134}
+	g.Decide(0, UtilSample{Busy: 0})
+	if p := g.Decide(0, UtilSample{Busy: 1.0}); p != 0 {
+		t.Fatalf("upward move delayed: P%d", p)
+	}
+}
+
+func TestSchedutilHoldsBeforeDropping(t *testing.T) {
+	g := &Schedutil{Model: cpu.XeonGold6134}
+	g.Decide(0, UtilSample{Busy: 1.0}) // P0
+	p1 := g.Decide(0, UtilSample{Busy: 0.0})
+	if p1 != 0 {
+		t.Fatalf("dropped after one low sample: P%d", p1)
+	}
+	p2 := g.Decide(0, UtilSample{Busy: 0.0})
+	if p2 != 15 {
+		t.Fatalf("did not drop after the hold expired: P%d", p2)
+	}
+}
+
+func TestSchedutilPerCoreState(t *testing.T) {
+	g := &Schedutil{Model: cpu.XeonGold6134}
+	g.Decide(0, UtilSample{Busy: 1.0})
+	if p := g.Decide(1, UtilSample{Busy: 0.0}); p != 15 {
+		t.Fatalf("core 1 inherited core 0's state: P%d", p)
+	}
+}
+
+// Property: the chosen frequency always covers the headroom target (or
+// is P0 when nothing can).
+func TestSchedutilCoversTargetProperty(t *testing.T) {
+	m := cpu.XeonGold6134
+	f := func(uRaw uint8) bool {
+		g := &Schedutil{Model: m}
+		u := float64(uRaw) / 255
+		p := g.Decide(0, UtilSample{Busy: u})
+		target := 1.25 * m.PStates[0].FreqGHz * u
+		if target > m.PStates[0].FreqGHz {
+			return p == 0
+		}
+		return m.PStates[p].FreqGHz >= target-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package governor
+
+import (
+	"testing"
+
+	"nmapsim/internal/cpu"
+	"nmapsim/internal/sim"
+)
+
+// Regression: a Resume issued at the same instant as (or just after) a
+// stack tick sees a zero-length sampling window. The stack must reuse
+// the last full-window utilisation instead of reading 0% and dropping a
+// saturated core to Pmin mid-burst — the bug caused NMAP to flap P0→P15
+// with 520µs re-transitions inside every burst.
+func TestResumeRightAfterTickReusesLastUtil(t *testing.T) {
+	eng := sim.NewEngine()
+	proc := cpu.NewProcessor(cpu.XeonGold6134, eng, sim.NewRNG(1))
+	st := NewStack(eng, proc, Ondemand{Model: cpu.XeonGold6134}, 10*sim.Millisecond)
+	st.Start()
+	st.Suspend(0)
+	proc.Request(0, 0) // NMAP-style boost
+
+	// Keep core 0 fully busy.
+	var loop func()
+	loop = func() {
+		if eng.Now() < sim.Time(100*sim.Millisecond) {
+			proc.Cores[0].StartExec(3200*500, loop)
+		}
+	}
+	loop()
+
+	// Resume exactly at a tick boundary: window length zero.
+	eng.At(sim.Time(30*sim.Millisecond), func() {
+		st.Resume(0)
+		// The busy core must stay at (or be headed to) P0 — not P15.
+		if p := proc.Cores[0].PendingPState(); p > 2 {
+			t.Errorf("Resume at tick dropped a saturated core to P%d", p)
+		}
+	})
+	eng.Run(sim.Time(100 * sim.Millisecond))
+	if proc.Cores[0].PState() != 0 {
+		t.Fatalf("busy core ended at P%d, want P0", proc.Cores[0].PState())
+	}
+}
+
+// The complementary case: a Resume long after the last tick gets a real
+// window and decides from it.
+func TestResumeMidWindowSamplesFreshUtil(t *testing.T) {
+	eng := sim.NewEngine()
+	proc := cpu.NewProcessor(cpu.XeonGold6134, eng, sim.NewRNG(1))
+	st := NewStack(eng, proc, Ondemand{Model: cpu.XeonGold6134}, 10*sim.Millisecond)
+	st.Start()
+	st.Suspend(0)
+	proc.Request(0, 0)
+	// Core 0 idle the whole time: resume mid-window must drop it.
+	eng.At(sim.Time(35*sim.Millisecond), func() { st.Resume(0) })
+	eng.Run(sim.Time(100 * sim.Millisecond))
+	if proc.Cores[0].PState() != 15 {
+		t.Fatalf("idle core ended at P%d after mid-window resume, want P15", proc.Cores[0].PState())
+	}
+}
+
+// Utilization() must peek without advancing the sampling window.
+func TestUtilizationPeekDoesNotAdvance(t *testing.T) {
+	eng := sim.NewEngine()
+	proc := cpu.NewProcessor(cpu.XeonGold6134, eng, sim.NewRNG(1))
+	st := NewStack(eng, proc, Ondemand{Model: cpu.XeonGold6134}, 10*sim.Millisecond)
+	st.Start()
+	var loop func()
+	loop = func() {
+		if eng.Now() < sim.Time(9*sim.Millisecond) {
+			proc.Cores[0].StartExec(3200*100, loop)
+		}
+	}
+	loop()
+	eng.Run(sim.Time(9 * sim.Millisecond))
+	u1 := st.Utilization(0)
+	u2 := st.Utilization(0)
+	if u1.Busy == 0 {
+		t.Fatal("peek saw no utilisation on a busy core")
+	}
+	if u2.Busy < u1.Busy*0.9 {
+		t.Fatal("second peek diverged — the window advanced")
+	}
+}

@@ -1,0 +1,255 @@
+// Package nic models a multi-queue 10GbE network interface of the Intel
+// 82599 class used in the paper's evaluation: per-core Rx rings fed by
+// RSS flow hashing, interrupt generation gated by per-queue IRQ masking
+// (NAPI) and the interrupt-throttle rate (ITR, 10µs minimum interrupt
+// period per §5.1), DMA latency and a simple Tx path.
+package nic
+
+import (
+	"nmapsim/internal/sim"
+)
+
+// Packet is one network packet moving through the simulated datapath.
+type Packet struct {
+	// ID is unique per packet within a run.
+	ID uint64
+	// Flow identifies the connection; RSS hashes it to an Rx queue.
+	Flow uint64
+	// Sent is when the client handed the packet to the network.
+	Sent sim.Time
+	// Arrived is when DMA placed the packet into the Rx ring.
+	Arrived sim.Time
+	// Payload carries the workload-level request; opaque to the NIC.
+	Payload any
+}
+
+// Config parameterises the NIC.
+type Config struct {
+	// Queues is the number of Rx queues (one per core with RSS).
+	Queues int
+	// RingSize is the per-queue Rx descriptor ring capacity.
+	RingSize int
+	// DMALatency is the wire-to-ring latency (PCIe DMA + descriptor
+	// write-back).
+	DMALatency sim.Duration
+	// ITR is the minimum spacing between interrupts on one queue
+	// (10µs on the 82599 per §5.1).
+	ITR sim.Duration
+	// IRQLatency is the time from interrupt assertion to the handler
+	// starting on the core (APIC delivery).
+	IRQLatency sim.Duration
+	// TxLatency is the transmit-side DMA cost charged between the
+	// kernel handing a response off and the first segment reaching the
+	// wire.
+	TxLatency sim.Duration
+	// TxWire is the per-segment wire serialisation time (≈1.2µs per
+	// 1500B MTU segment at 10GbE). Each segment that leaves the wire
+	// posts a Tx-completion the softirq must clean (Fig 1 ⑤-⑧).
+	TxWire sim.Duration
+	// HashRSS selects seeded-hash flow steering, which deals flows to
+	// queues unevenly (real Toeplitz-hash lumpiness). The default
+	// (false) spreads flows round-robin — the paper's testbed: "RSS
+	// evenly distributes packets in our experimental setup, thus each
+	// core handles almost the same amount of network loads".
+	HashRSS bool
+}
+
+// DefaultConfig mirrors the paper's testbed NIC.
+func DefaultConfig(queues int) Config {
+	return Config{
+		Queues:     queues,
+		RingSize:   512,
+		DMALatency: 2 * sim.Microsecond,
+		ITR:        10 * sim.Microsecond,
+		IRQLatency: 1 * sim.Microsecond,
+		TxLatency:  1 * sim.Microsecond,
+		TxWire:     1200 * sim.Nanosecond,
+	}
+}
+
+type queue struct {
+	ring       []*Packet
+	txPending  int // Tx completions awaiting softirq cleaning
+	irqEnabled bool
+	nextIRQ    sim.Time // earliest instant ITR allows the next interrupt
+	irqTimer   *sim.Event
+	drops      uint64
+	interrupts uint64
+}
+
+// NIC is the device model. The kernel attaches one interrupt handler per
+// queue and drives the rings through Poll / EnableIRQ / DisableIRQ,
+// exactly the contract the NAPI state machine expects.
+type NIC struct {
+	cfg Config
+	eng *sim.Engine
+	qs  []*queue
+	// handler[q] is invoked on the (simulated) core when queue q raises
+	// an interrupt.
+	handler []func()
+	rssSeed uint64
+}
+
+// New builds a NIC.
+func New(cfg Config, eng *sim.Engine, rssSeed uint64) *NIC {
+	n := &NIC{cfg: cfg, eng: eng, rssSeed: rssSeed}
+	n.qs = make([]*queue, cfg.Queues)
+	n.handler = make([]func(), cfg.Queues)
+	for i := range n.qs {
+		n.qs[i] = &queue{irqEnabled: true}
+	}
+	return n
+}
+
+// Config returns the NIC configuration.
+func (n *NIC) Config() Config { return n.cfg }
+
+// SetHandler attaches the interrupt handler for queue q.
+func (n *NIC) SetHandler(q int, fn func()) { n.handler[q] = fn }
+
+// QueueFor implements RSS flow steering. By default flows spread evenly
+// across queues (the paper's testbed behaviour); with Config.HashRSS a
+// seeded Fibonacci mix deals them lumpily, as a real Toeplitz hash can.
+func (n *NIC) QueueFor(flow uint64) int {
+	if !n.cfg.HashRSS {
+		return int(flow % uint64(n.cfg.Queues))
+	}
+	h := (flow ^ n.rssSeed) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return int(h % uint64(n.cfg.Queues))
+}
+
+// Deliver injects a packet from the wire: after the DMA latency it lands
+// in the RSS-selected ring (or is dropped if the ring is full) and the
+// queue's interrupt logic runs.
+func (n *NIC) Deliver(p *Packet) {
+	q := n.QueueFor(p.Flow)
+	n.eng.Schedule(n.cfg.DMALatency, func() {
+		qu := n.qs[q]
+		if len(qu.ring) >= n.cfg.RingSize {
+			qu.drops++
+			return
+		}
+		p.Arrived = n.eng.Now()
+		qu.ring = append(qu.ring, p)
+		n.maybeInterrupt(q)
+	})
+}
+
+// maybeInterrupt raises an interrupt on queue q if the queue has work
+// (Rx packets or Tx completions), interrupts are enabled, and the ITR
+// allows it; otherwise it arms a timer for the next ITR slot.
+func (n *NIC) maybeInterrupt(q int) {
+	qu := n.qs[q]
+	if !qu.irqEnabled || n.handler[q] == nil || (len(qu.ring) == 0 && qu.txPending == 0) {
+		return
+	}
+	now := n.eng.Now()
+	if now >= qu.nextIRQ {
+		qu.irqEnabled = false // NAPI: the handler masks further IRQs
+		qu.nextIRQ = now + sim.Time(n.cfg.ITR)
+		qu.interrupts++
+		if qu.irqTimer != nil {
+			qu.irqTimer.Cancel()
+			qu.irqTimer = nil
+		}
+		h := n.handler[q]
+		n.eng.Schedule(n.cfg.IRQLatency, h)
+		return
+	}
+	if qu.irqTimer == nil {
+		qu.irqTimer = n.eng.At(qu.nextIRQ, func() {
+			qu.irqTimer = nil
+			n.maybeInterrupt(q)
+		})
+	}
+}
+
+// Poll dequeues up to max packets from queue q (the NAPI poll routine).
+func (n *NIC) Poll(q, max int) []*Packet {
+	qu := n.qs[q]
+	if max > len(qu.ring) {
+		max = len(qu.ring)
+	}
+	batch := qu.ring[:max]
+	rest := qu.ring[max:]
+	// Copy down to avoid unbounded backing-array growth.
+	qu.ring = append(qu.ring[:0:0], rest...)
+	return batch
+}
+
+// QueueLen returns the occupancy of ring q.
+func (n *NIC) QueueLen(q int) int { return len(n.qs[q].ring) }
+
+// EnableIRQ unmasks interrupts on queue q (NAPI complete). If packets
+// arrived while masked, the interrupt logic re-runs immediately.
+func (n *NIC) EnableIRQ(q int) {
+	n.qs[q].irqEnabled = true
+	n.maybeInterrupt(q)
+}
+
+// DisableIRQ masks interrupts on queue q.
+func (n *NIC) DisableIRQ(q int) {
+	n.qs[q].irqEnabled = false
+	if t := n.qs[q].irqTimer; t != nil {
+		t.Cancel()
+		n.qs[q].irqTimer = nil
+	}
+}
+
+// Transmit sends a response of the given number of MTU segments back to
+// the wire through queue q. Each segment leaving the wire posts one
+// Tx-completion that the softirq must clean (TxClean); done fires when
+// the last segment has left the NIC (the network substrate adds
+// propagation delay from there).
+func (n *NIC) Transmit(q int, p *Packet, segments int, done func(*Packet)) {
+	if segments < 1 {
+		segments = 1
+	}
+	qu := n.qs[q]
+	for i := 1; i <= segments; i++ {
+		last := i == segments
+		n.eng.Schedule(n.cfg.TxLatency+sim.Duration(i)*n.cfg.TxWire, func() {
+			qu.txPending++
+			n.maybeInterrupt(q)
+			if last {
+				done(p)
+			}
+		})
+	}
+}
+
+// TxPending returns the number of uncleaned Tx completions on queue q.
+func (n *NIC) TxPending(q int) int { return n.qs[q].txPending }
+
+// TxClean reaps up to max Tx completions from queue q (the Tx half of
+// the NAPI poll routine) and returns how many were cleaned.
+func (n *NIC) TxClean(q, max int) int {
+	qu := n.qs[q]
+	if max > qu.txPending {
+		max = qu.txPending
+	}
+	qu.txPending -= max
+	return max
+}
+
+// HasWork reports whether queue q has Rx packets or Tx completions
+// pending.
+func (n *NIC) HasWork(q int) bool {
+	return len(n.qs[q].ring) > 0 || n.qs[q].txPending > 0
+}
+
+// Drops returns the cumulative dropped-packet count for queue q.
+func (n *NIC) Drops(q int) uint64 { return n.qs[q].drops }
+
+// Interrupts returns the cumulative interrupt count for queue q.
+func (n *NIC) Interrupts(q int) uint64 { return n.qs[q].interrupts }
+
+// TotalDrops sums drops across queues.
+func (n *NIC) TotalDrops() uint64 {
+	var s uint64
+	for i := range n.qs {
+		s += n.qs[i].drops
+	}
+	return s
+}

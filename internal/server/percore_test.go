@@ -1,0 +1,72 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"nmapsim/internal/governor"
+	"nmapsim/internal/workload"
+)
+
+func TestPerCoreStatsPopulated(t *testing.T) {
+	res := runWith(t, quickCfg(workload.Medium, 31), "performance", "menu")
+	if len(res.PerCore) != 8 {
+		t.Fatalf("per-core stats = %d entries, want 8", len(res.PerCore))
+	}
+	var completed, pkts uint64
+	var energy float64
+	for i, cs := range res.PerCore {
+		if cs.Core != i {
+			t.Fatalf("core id %d at index %d", cs.Core, i)
+		}
+		if cs.BusyFrac <= 0 || cs.BusyFrac > 1 {
+			t.Fatalf("core %d busy frac %f", i, cs.BusyFrac)
+		}
+		if cs.CC0Frac < cs.BusyFrac {
+			t.Fatalf("core %d CC0 %f < busy %f (impossible)", i, cs.CC0Frac, cs.BusyFrac)
+		}
+		completed += cs.Completed
+		pkts += cs.PktIntr + cs.PktPoll
+		energy += cs.EnergyJ
+	}
+	if completed != res.Completed {
+		t.Fatalf("per-core completed %d != total %d", completed, res.Completed)
+	}
+	if pkts == 0 {
+		t.Fatal("no packets counted per core")
+	}
+	// Per-core energy is the core-side share; package energy adds the
+	// static uncore, so cores must account for less than the total but a
+	// meaningful fraction of it. (Energy here is whole-run; the result
+	// energy is the measured window — compare loosely.)
+	if energy <= 0 {
+		t.Fatal("per-core energy empty")
+	}
+}
+
+func TestPerCoreBalancedUnderEvenRSS(t *testing.T) {
+	res := runWith(t, quickCfg(workload.Medium, 32), "performance", "menu")
+	var minC, maxC uint64 = math.MaxUint64, 0
+	for _, cs := range res.PerCore {
+		if cs.Completed < minC {
+			minC = cs.Completed
+		}
+		if cs.Completed > maxC {
+			maxC = cs.Completed
+		}
+	}
+	if float64(maxC) > 1.5*float64(minC) {
+		t.Fatalf("40 flows over 8 queues too skewed: %d..%d", minC, maxC)
+	}
+}
+
+func TestPerCoreCC6EntriesAtLowLoad(t *testing.T) {
+	res := runWith(t, quickCfg(workload.Low, 33), "performance", "menu")
+	for _, cs := range res.PerCore {
+		if cs.CC6Entries == 0 {
+			t.Fatalf("core %d never entered CC6 at low load under menu", cs.Core)
+		}
+	}
+}
+
+var _ = governor.Performance{}

@@ -1,0 +1,352 @@
+// Package server assembles the full experimental platform: a processor
+// (package cpu), a multi-queue NIC (package nic), the per-core kernel
+// instances (package kernel), the bursty client (package workload), the
+// client↔server network, and the measurement plumbing (package stats).
+// Power-management policies attach on top through small interfaces, so
+// the same assembly runs Linux governors, NMAP, and the baselines.
+package server
+
+import (
+	"fmt"
+
+	"nmapsim/internal/cpu"
+	"nmapsim/internal/kernel"
+	"nmapsim/internal/nic"
+	"nmapsim/internal/sim"
+	"nmapsim/internal/stats"
+	"nmapsim/internal/workload"
+)
+
+// Policy is anything that manages power once the run starts: a governor
+// stack, NMAP, or a baseline controller.
+type Policy interface {
+	Start()
+	Stop()
+}
+
+// Config describes one experiment run.
+type Config struct {
+	// Model is the processor; defaults to the Xeon Gold 6134 testbed.
+	Model *cpu.Model
+	// Seed drives all randomness in the run.
+	Seed uint64
+	// Profile is the application; defaults to memcached.
+	Profile *workload.Profile
+	// RPS is the average offered load. If zero, Level is used.
+	RPS float64
+	// Level picks one of the paper's three loads when RPS is zero.
+	Level workload.Level
+	// Pattern shapes the bursty arrivals; zero value = DefaultBurst.
+	Pattern workload.BurstPattern
+	// VariableLevels switches load randomly every SwitchPeriod (Fig 16).
+	VariableLevels []float64
+	SwitchPeriod   sim.Duration
+	// Kernel overrides the kernel cost parameters (zero = defaults).
+	Kernel kernel.Config
+	// NICRing overrides the Rx ring size (zero = default 512).
+	NICRing int
+	// ITR overrides the NIC interrupt-throttle period (zero = 10µs).
+	ITR sim.Duration
+	// Flows overrides the number of client connections (zero = the
+	// profile's 40). Together with LumpyRSS, fewer flows make the
+	// per-queue spread lumpier — the per-core load imbalance that
+	// favours per-core DVFS over chip-wide (§6.3).
+	Flows int
+	// LumpyRSS switches flow steering from the even round-robin spread
+	// of the paper's testbed to a seeded hash with realistic imbalance.
+	LumpyRSS bool
+	// NetLatency is the one-way client↔server base latency; defaults
+	// to 15µs (10GbE through one switch).
+	NetLatency sim.Duration
+	// NetJitter is the mean of the exponential jitter added per
+	// traversal; defaults to 3µs.
+	NetJitter sim.Duration
+	// Warmup and Duration delimit the measured window; defaults 200ms
+	// and 1s.
+	Warmup, Duration sim.Duration
+	// ForceChipWide applies the chip-wide DVFS coordination rule (NCAP).
+	ForceChipWide bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Model == nil {
+		c.Model = cpu.XeonGold6134
+	}
+	if c.Profile == nil {
+		c.Profile = workload.Memcached()
+	}
+	if c.Pattern.Period == 0 {
+		if c.Profile.Burst.Period != 0 {
+			c.Pattern = c.Profile.Burst
+		} else {
+			c.Pattern = workload.DefaultBurst()
+		}
+	}
+	if c.RPS == 0 && len(c.VariableLevels) == 0 {
+		c.RPS = c.Profile.RPS(c.Level)
+	}
+	if c.Flows > 0 && c.Flows != c.Profile.Flows {
+		clone := *c.Profile
+		clone.Flows = c.Flows
+		c.Profile = &clone
+	}
+	if c.NetLatency == 0 {
+		c.NetLatency = 15 * sim.Microsecond
+	}
+	if c.NetJitter == 0 {
+		c.NetJitter = 3 * sim.Microsecond
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 200 * sim.Millisecond
+	}
+	if c.Duration == 0 {
+		c.Duration = sim.Duration(sim.Second)
+	}
+	return c
+}
+
+// Result summarises one run.
+type Result struct {
+	// Summary digests the response-time distribution over the measured
+	// window.
+	Summary stats.Summary
+	// Hist is the full response-time histogram.
+	Hist *stats.Hist
+	// EnergyJ is the package energy over the measured window (RAPL).
+	EnergyJ float64
+	// AvgPowerW is EnergyJ divided by the window length.
+	AvgPowerW float64
+	// Completed counts requests finished inside the window.
+	Completed uint64
+	// Drops counts NIC ring overflows over the whole run.
+	Drops uint64
+	// SLO echoes the profile's objective; FracOverSLO is the fraction
+	// of measured responses exceeding it; Violated is P99 > SLO.
+	SLO         sim.Duration
+	FracOverSLO float64
+	Violated    bool
+	// Transitions counts P-state transitions across all cores (whole
+	// run), for the re-transition ablations.
+	Transitions int64
+	// PerCore breaks the run down by core (whole-run cumulative).
+	PerCore []CoreStats
+}
+
+// CoreStats is the per-core view of a run.
+type CoreStats struct {
+	Core           int
+	Completed      uint64
+	PktIntr        uint64
+	PktPoll        uint64
+	Interrupts     uint64
+	KsoftirqdWakes uint64
+	BusyFrac       float64
+	CC0Frac        float64
+	CC6Entries     int64
+	EnergyJ        float64
+	Transitions    int64
+}
+
+// String renders the headline numbers.
+func (r Result) String() string {
+	return fmt.Sprintf("p99=%.2fms (SLO %.0fms, violated=%v) energy=%.1fJ power=%.1fW n=%d",
+		r.Summary.P99.Millis(), r.SLO.Millis(), r.Violated, r.EnergyJ, r.AvgPowerW, r.Summary.N)
+}
+
+// Server is one assembled experiment instance.
+type Server struct {
+	Cfg     Config
+	Eng     *sim.Engine
+	Proc    *cpu.Processor
+	NIC     *nic.NIC
+	Kernels []*kernel.CoreKernel
+	Gen     *workload.Generator
+	Hist    *stats.Hist
+
+	rng      *sim.RNG
+	netRng   *sim.RNG
+	measFrom sim.Time
+	// OnDone observes every completed request (measured window or not),
+	// used by Parties' latency feedback and the figure tracers.
+	OnDone func(r *workload.Request)
+
+	policy   Policy
+	idlePol  kernel.IdlePolicy
+	baseline float64 // package energy at warmup end
+}
+
+// New assembles a server. The idle policy applies to every core; pass
+// nil for always-CC0.
+func New(cfg Config, idle kernel.IdlePolicy) *Server {
+	cfg = cfg.withDefaults()
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(cfg.Seed)
+	s := &Server{
+		Cfg:     cfg,
+		Eng:     eng,
+		rng:     rng,
+		netRng:  rng.Fork(),
+		idlePol: idle,
+		Hist:    stats.NewHist(1 << 16),
+	}
+	s.Proc = cpu.NewProcessor(cfg.Model, eng, rng.Fork())
+	s.Proc.ForceChipWide = cfg.ForceChipWide
+	ncfg := nic.DefaultConfig(cfg.Model.NumCores)
+	if cfg.NICRing > 0 {
+		ncfg.RingSize = cfg.NICRing
+	}
+	if cfg.ITR > 0 {
+		ncfg.ITR = cfg.ITR
+	}
+	ncfg.HashRSS = cfg.LumpyRSS
+	s.NIC = nic.New(ncfg, eng, rng.Uint64())
+	for i, c := range s.Proc.Cores {
+		k := kernel.NewCoreKernel(i, eng, c, s.NIC, cfg.Kernel, idle)
+		k.AppCycles = func(payload any) float64 {
+			return payload.(*workload.Request).AppCycles
+		}
+		k.OnAppComplete = s.complete
+		s.Kernels = append(s.Kernels, k)
+	}
+	s.Gen = &workload.Generator{
+		Eng:            eng,
+		RNG:            rng.Fork(),
+		Profile:        cfg.Profile,
+		Pattern:        cfg.Pattern,
+		RPS:            cfg.RPS,
+		VariableLevels: cfg.VariableLevels,
+		SwitchPeriod:   cfg.SwitchPeriod,
+		Deliver:        s.ingress,
+	}
+	return s
+}
+
+// AttachPolicy installs the power-management policy; it will be started
+// when Run begins.
+func (s *Server) AttachPolicy(p Policy) { s.policy = p }
+
+// AddListener attaches a NAPI listener to every core kernel.
+func (s *Server) AddListener(l kernel.NAPIListener) {
+	for _, k := range s.Kernels {
+		k.AddListener(l)
+	}
+}
+
+// netDelay samples one network traversal.
+func (s *Server) netDelay() sim.Duration {
+	return s.Cfg.NetLatency + s.netRng.ExpDur(s.Cfg.NetJitter)
+}
+
+// Ingress carries a request over the network into the NIC — the entry
+// point custom generators (e.g. workload.Replayer) drive instead of the
+// built-in burst generator.
+func (s *Server) Ingress(r *workload.Request) { s.ingress(r) }
+
+// ingress carries a freshly generated request over the network into the
+// NIC.
+func (s *Server) ingress(r *workload.Request) {
+	s.Eng.Schedule(s.netDelay(), func() {
+		s.NIC.Deliver(&nic.Packet{
+			ID:      r.ID,
+			Flow:    r.Flow,
+			Sent:    r.Sent,
+			Payload: r,
+		})
+	})
+}
+
+// complete is the app-thread completion hook: transmit the response
+// (all of its MTU segments, whose Tx completions feed back into NAPI)
+// and record the client-observed latency after the last segment plus
+// the return network traversal.
+func (s *Server) complete(payload any) {
+	r := payload.(*workload.Request)
+	q := s.NIC.QueueFor(r.Flow)
+	segs := s.Cfg.Profile.TxSegments
+	s.NIC.Transmit(q, &nic.Packet{ID: r.ID, Flow: r.Flow, Payload: r}, segs, func(*nic.Packet) {
+		s.Eng.Schedule(s.netDelay(), func() {
+			r.Done = s.Eng.Now()
+			if r.Done >= s.measFrom && s.measFrom > 0 {
+				s.Hist.Add(r.Latency())
+			}
+			if s.OnDone != nil {
+				s.OnDone(r)
+			}
+		})
+	})
+}
+
+// Start arms the kernels, the policy and the generator without running
+// the clock (used by experiments that drive the engine manually).
+func (s *Server) Start() {
+	for _, k := range s.Kernels {
+		k.Start()
+	}
+	if s.policy != nil {
+		s.policy.Start()
+	}
+	s.Gen.Start()
+}
+
+// Run executes warmup + measurement and returns the result.
+func (s *Server) Run() Result {
+	s.Start()
+	s.Eng.Run(sim.Time(s.Cfg.Warmup))
+	s.measFrom = s.Eng.Now()
+	s.baseline = s.Proc.PackageEnergyJ()
+	end := sim.Time(s.Cfg.Warmup + s.Cfg.Duration)
+	s.Eng.Run(end)
+	return s.Collect()
+}
+
+// Collect summarises the measured window (Run calls it; experiments that
+// drive the engine manually may call it directly).
+func (s *Server) Collect() Result {
+	energy := s.Proc.PackageEnergyJ() - s.baseline
+	window := float64(s.Eng.Now()-s.measFrom) / 1e9
+	sum := s.Hist.Summarize()
+	var completed uint64
+	for _, k := range s.Kernels {
+		completed += k.Counters().Completed
+	}
+	res := Result{
+		Summary:     sum,
+		Hist:        s.Hist,
+		EnergyJ:     energy,
+		Completed:   completed,
+		Drops:       s.NIC.TotalDrops(),
+		SLO:         s.Cfg.Profile.SLO,
+		FracOverSLO: 1 - s.Hist.FracLE(s.Cfg.Profile.SLO),
+		Violated:    sum.P99 > s.Cfg.Profile.SLO,
+	}
+	if window > 0 {
+		res.AvgPowerW = energy / window
+	}
+	for i, c := range s.Proc.Cores {
+		res.Transitions += c.Transitions()
+		acct := c.Snapshot()
+		kc := s.Kernels[i].Counters()
+		elapsed := float64(s.Eng.Now())
+		cs := CoreStats{
+			Core:           i,
+			Completed:      kc.Completed,
+			PktIntr:        kc.PktIntr,
+			PktPoll:        kc.PktPoll,
+			Interrupts:     kc.Interrupts,
+			KsoftirqdWakes: kc.KsoftirqdWakes,
+			CC6Entries:     acct.CC6Entries,
+			EnergyJ:        acct.EnergyJ,
+			Transitions:    c.Transitions(),
+		}
+		if elapsed > 0 {
+			cs.BusyFrac = float64(acct.BusyNs) / elapsed
+			cs.CC0Frac = float64(acct.CC0Ns) / elapsed
+		}
+		res.PerCore = append(res.PerCore, cs)
+	}
+	return res
+}
+
+// MeasuredFrom returns the start of the measurement window (zero until
+// warmup completes).
+func (s *Server) MeasuredFrom() sim.Time { return s.measFrom }

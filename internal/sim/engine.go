@@ -1,0 +1,235 @@
+// Package sim provides the deterministic discrete-event simulation (DES)
+// substrate that every other component of the NMAP reproduction runs on.
+//
+// The engine keeps a nanosecond-resolution virtual clock and a binary heap
+// of pending events. Events scheduled for the same instant fire in the
+// order they were scheduled (a monotonically increasing sequence number
+// breaks ties), which makes every experiment byte-for-byte reproducible
+// for a fixed PRNG seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is an absolute simulation timestamp in nanoseconds since the start
+// of the run.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// String renders the timestamp with microsecond precision, which is the
+// natural scale of the experiments in the paper.
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fms", float64(t)/1e6)
+}
+
+// Seconds converts the timestamp to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Micros converts the timestamp to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Seconds converts the duration to floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Micros converts the duration to floating-point microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+// Millis converts the duration to floating-point milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / 1e6 }
+
+// String renders the duration at its natural scale.
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%gs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%gms", d.Millis())
+	case d >= Microsecond:
+		return fmt.Sprintf("%gµs", d.Micros())
+	}
+	return fmt.Sprintf("%dns", int64(d))
+}
+
+// Event is a handle to a scheduled callback. It can be cancelled before it
+// fires; cancellation is O(1) (lazy deletion from the heap).
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	idx      int // position in the heap, -1 once popped
+	canceled bool
+}
+
+// At reports the instant the event will fire (or would have fired).
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op. It reports whether the event
+// was still pending.
+func (e *Event) Cancel() bool {
+	if e == nil || e.canceled || e.idx == -2 {
+		return false
+	}
+	e.canceled = true
+	return true
+}
+
+// Canceled reports whether Cancel was called before the event fired.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -2
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all model code runs inside event callbacks on the
+// goroutine that calls Run.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	// fired counts events dispatched since construction; useful for
+	// harness-level progress accounting and benchmarks.
+	fired uint64
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued (including events that
+// were cancelled but not yet reaped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run after delay. A negative delay is treated as
+// zero (fires at the current instant, after already-queued events for that
+// instant). It returns a cancellable handle.
+func (e *Engine) Schedule(delay Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+Time(delay), fn)
+}
+
+// At queues fn to run at the absolute instant t. Scheduling in the past is
+// clamped to the current instant.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Stop aborts Run after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events in timestamp order until the queue is empty, the
+// horizon is reached, or Stop is called. The clock is left at the horizon
+// (or at the last event if the queue drained first). Events scheduled
+// exactly at the horizon do fire.
+func (e *Engine) Run(until Time) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn()
+	}
+	if !e.stopped && e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll dispatches events until the queue drains or Stop is called.
+func (e *Engine) RunAll() {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := heap.Pop(&e.queue).(*Event)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn()
+	}
+}
+
+// Ticker invokes fn every period until the returned stop function is
+// called. The first invocation happens one full period from now.
+func (e *Engine) Ticker(period Duration, fn func()) (stop func()) {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	var ev *Event
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			ev = e.Schedule(period, tick)
+		}
+	}
+	ev = e.Schedule(period, tick)
+	return func() {
+		stopped = true
+		ev.Cancel()
+	}
+}

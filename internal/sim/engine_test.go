@@ -1,0 +1,305 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events reordered: %v", got)
+		}
+	}
+}
+
+func TestEngineRunHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(100, func() { fired++ })
+	e.Schedule(200, func() { fired++ })
+	e.Schedule(300, func() { fired++ })
+	e.Run(200)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 (horizon inclusive)", fired)
+	}
+	if e.Now() != 200 {
+		t.Fatalf("clock = %d, want horizon 200", e.Now())
+	}
+	e.Run(300)
+	if fired != 3 {
+		t.Fatalf("fired = %d after extending horizon, want 3", fired)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	if !ev.Cancel() {
+		t.Fatal("Cancel on pending event returned false")
+	}
+	if ev.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEngineScheduleInsideEvent(t *testing.T) {
+	e := NewEngine()
+	var trace []Time
+	e.Schedule(10, func() {
+		trace = append(trace, e.Now())
+		e.Schedule(5, func() { trace = append(trace, e.Now()) })
+	})
+	e.RunAll()
+	if len(trace) != 2 || trace[0] != 10 || trace[1] != 15 {
+		t.Fatalf("nested scheduling broken: %v", trace)
+	}
+}
+
+func TestEngineZeroAndNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		order := []int{}
+		e.Schedule(0, func() { order = append(order, 1) })
+		e.Schedule(-5, func() { order = append(order, 2) })
+		e.Schedule(0, func() {
+			if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+				t.Errorf("zero-delay ordering: %v", order)
+			}
+		})
+	})
+	e.RunAll()
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(1, func() { fired++; e.Stop() })
+	e.Schedule(2, func() { fired++ })
+	e.Run(100)
+	if fired != 1 {
+		t.Fatalf("Stop did not halt dispatch, fired=%d", fired)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	stop := e.Ticker(10, func() { ticks = append(ticks, e.Now()) })
+	e.Schedule(35, func() { stop() })
+	e.Run(100)
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %v, want 3 ticks at 10,20,30", ticks)
+	}
+	for i, tt := range ticks {
+		if tt != Time(10*(i+1)) {
+			t.Fatalf("tick %d at %d", i, tt)
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var stop func()
+	stop = e.Ticker(10, func() {
+		n++
+		if n == 2 {
+			stop()
+		}
+	})
+	e.Run(1000)
+	if n != 2 {
+		t.Fatalf("ticker fired %d times after in-callback stop, want 2", n)
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the engine clock never moves backwards.
+func TestEventOrderingProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fireTimes []Time
+		for _, d := range delays {
+			e.Schedule(Duration(d), func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		e.RunAll()
+		if len(fireTimes) != len(delays) {
+			return false
+		}
+		if !sort.SliceIsSorted(fireTimes, func(i, j int) bool { return fireTimes[i] < fireTimes[j] }) {
+			return false
+		}
+		// The fire times must be a permutation of the scheduled delays.
+		want := make([]int, len(delays))
+		got := make([]int, len(fireTimes))
+		for i, d := range delays {
+			want[i] = int(d)
+		}
+		for i, ft := range fireTimes {
+			got[i] = int(ft)
+		}
+		sort.Ints(want)
+		sort.Ints(got)
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(7)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(100)
+	}
+	mean := sum / n
+	if math.Abs(mean-100) > 2 {
+		t.Fatalf("Exp mean = %v, want ~100", mean)
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(9)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(50, 10)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-50) > 0.5 {
+		t.Fatalf("Normal mean = %v, want ~50", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-10) > 0.5 {
+		t.Fatalf("Normal stdev = %v, want ~10", math.Sqrt(variance))
+	}
+}
+
+func TestRNGBoundedParetoRange(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 100000; i++ {
+		v := r.BoundedPareto(1, 1000, 1.3)
+		if v < 1-1e-9 || v > 1000+1e-9 {
+			t.Fatalf("BoundedPareto out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntnProperty(t *testing.T) {
+	r := NewRNG(5)
+	f := func(n uint8) bool {
+		m := int(n%100) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(123)
+	c1 := parent.Fork()
+	c2 := parent.Fork()
+	equal := 0
+	for i := 0; i < 64; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			equal++
+		}
+	}
+	if equal > 2 {
+		t.Fatalf("forked streams correlate: %d/64 equal draws", equal)
+	}
+}
+
+func TestNormalDurClamp(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		d := r.NormalDur(10, 100, 5)
+		if d < 5 {
+			t.Fatalf("NormalDur below clamp: %d", d)
+		}
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Duration(j%97), func() {})
+		}
+		e.RunAll()
+	}
+}

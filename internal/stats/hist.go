@@ -1,0 +1,137 @@
+// Package stats provides the measurement substrate: exact latency
+// histograms with percentile/CDF queries, binned time series for the
+// paper's Fig-2/7/9-style traces, and small summary helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nmapsim/internal/sim"
+)
+
+// Hist collects latency samples (nanoseconds) and answers exact
+// percentile and CDF queries. Samples are kept verbatim; sorting is done
+// lazily on first query.
+type Hist struct {
+	samples []int64
+	sorted  bool
+	sum     float64
+}
+
+// NewHist returns an empty histogram with the given capacity hint.
+func NewHist(capacity int) *Hist {
+	return &Hist{samples: make([]int64, 0, capacity)}
+}
+
+// Add records one latency sample.
+func (h *Hist) Add(d sim.Duration) {
+	h.samples = append(h.samples, int64(d))
+	h.sum += float64(d)
+	h.sorted = false
+}
+
+// N returns the number of samples.
+func (h *Hist) N() int { return len(h.samples) }
+
+// Mean returns the mean latency.
+func (h *Hist) Mean() sim.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return sim.Duration(h.sum / float64(len(h.samples)))
+}
+
+func (h *Hist) sort() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// P returns the q-quantile (q in [0,1]), e.g. P(0.99) is the P99 latency.
+// It returns 0 for an empty histogram.
+func (h *Hist) P(q float64) sim.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	if q <= 0 {
+		return sim.Duration(h.samples[0])
+	}
+	if q >= 1 {
+		return sim.Duration(h.samples[len(h.samples)-1])
+	}
+	// Nearest-rank percentile, the definition used by SLO monitoring.
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sim.Duration(h.samples[idx])
+}
+
+// FracLE returns the fraction of samples <= d (the CDF at d).
+func (h *Hist) FracLE(d sim.Duration) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	idx := sort.Search(len(h.samples), func(i int) bool { return h.samples[i] > int64(d) })
+	return float64(idx) / float64(len(h.samples))
+}
+
+// Max returns the largest sample.
+func (h *Hist) Max() sim.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return sim.Duration(h.samples[len(h.samples)-1])
+}
+
+// CDFPoint is one point of a rendered CDF.
+type CDFPoint struct {
+	Lat  sim.Duration
+	Frac float64
+}
+
+// CDF renders the distribution as n evenly spaced quantile points,
+// suitable for plotting Fig 4 / Fig 11.
+func (h *Hist) CDF(n int) []CDFPoint {
+	if len(h.samples) == 0 || n < 2 {
+		return nil
+	}
+	h.sort()
+	pts := make([]CDFPoint, 0, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		pts = append(pts, CDFPoint{Lat: h.P(q), Frac: q})
+	}
+	return pts
+}
+
+// Summary is a compact latency digest.
+type Summary struct {
+	N                              int
+	Mean, P50, P95, P99, P999, Max sim.Duration
+}
+
+// Summarize computes the standard digest.
+func (h *Hist) Summarize() Summary {
+	return Summary{
+		N:    h.N(),
+		Mean: h.Mean(),
+		P50:  h.P(0.50),
+		P95:  h.P(0.95),
+		P99:  h.P(0.99),
+		P999: h.P(0.999),
+		Max:  h.Max(),
+	}
+}
+
+// String renders the digest in microseconds.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1fµs p50=%.1fµs p95=%.1fµs p99=%.1fµs p99.9=%.1fµs max=%.1fµs",
+		s.N, s.Mean.Micros(), s.P50.Micros(), s.P95.Micros(), s.P99.Micros(), s.P999.Micros(), s.Max.Micros())
+}

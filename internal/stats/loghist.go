@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+
+	"nmapsim/internal/sim"
+)
+
+// LogHist is a memory-bounded latency histogram with logarithmic
+// buckets (HdrHistogram-style): quantile queries are answered to within
+// a fixed relative error (one bucket), using O(buckets) memory
+// regardless of sample count. Use it instead of Hist for multi-minute
+// simulations where storing every sample verbatim is wasteful.
+type LogHist struct {
+	// growth is the bucket width ratio; 1.02 gives ≤2% relative error.
+	growth float64
+	// min is the smallest representable latency (1ns).
+	counts []uint64
+	n      uint64
+	sum    float64
+	max    int64
+}
+
+// logHistBuckets covers 1ns … >1000s at 2% resolution.
+const logHistGrowth = 1.02
+
+// NewLogHist returns an empty histogram with ~2% relative error.
+func NewLogHist() *LogHist {
+	// ln(1e12)/ln(1.02) ≈ 1396 buckets to cover 1ns..1000s.
+	n := int(math.Ceil(math.Log(1e12)/math.Log(logHistGrowth))) + 2
+	return &LogHist{growth: logHistGrowth, counts: make([]uint64, n)}
+}
+
+func (h *LogHist) bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := int(math.Log(float64(v)) / math.Log(h.growth))
+	if b >= len(h.counts) {
+		b = len(h.counts) - 1
+	}
+	return b
+}
+
+// bucketUpper returns the upper edge of bucket b (the value reported
+// for quantiles landing in it).
+func (h *LogHist) bucketUpper(b int) int64 {
+	return int64(math.Pow(h.growth, float64(b+1)))
+}
+
+// Add records one latency sample.
+func (h *LogHist) Add(d sim.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[h.bucketOf(v)]++
+	h.n++
+	h.sum += float64(v)
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// N returns the number of samples.
+func (h *LogHist) N() int { return int(h.n) }
+
+// Mean returns the mean latency.
+func (h *LogHist) Mean() sim.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return sim.Duration(h.sum / float64(h.n))
+}
+
+// Max returns the largest recorded sample (exact).
+func (h *LogHist) Max() sim.Duration { return sim.Duration(h.max) }
+
+// P returns the q-quantile to within one bucket (≤2% relative error).
+func (h *LogHist) P(q float64) sim.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var cum uint64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			u := h.bucketUpper(b)
+			if sim.Duration(u) > h.Max() {
+				return h.Max()
+			}
+			return sim.Duration(u)
+		}
+	}
+	return h.Max()
+}
+
+// FracLE returns the fraction of samples <= d, to within one bucket.
+func (h *LogHist) FracLE(d sim.Duration) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	b := h.bucketOf(int64(d))
+	var cum uint64
+	for i := 0; i <= b && i < len(h.counts); i++ {
+		cum += h.counts[i]
+	}
+	return float64(cum) / float64(h.n)
+}
+
+// Merge adds other's samples into h (same bucket layout).
+func (h *LogHist) Merge(other *LogHist) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}

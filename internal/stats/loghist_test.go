@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nmapsim/internal/sim"
+)
+
+func TestLogHistBasics(t *testing.T) {
+	h := NewLogHist()
+	if h.P(0.99) != 0 || h.N() != 0 || h.Mean() != 0 {
+		t.Fatal("empty LogHist must answer zeros")
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Add(sim.Duration(i) * sim.Microsecond)
+	}
+	if h.N() != 1000 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Max() != 1000*sim.Microsecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	mean := h.Mean().Micros()
+	if math.Abs(mean-500.5) > 1 {
+		t.Fatalf("mean = %vµs", mean)
+	}
+}
+
+// Property: LogHist quantiles agree with the exact Hist within the 2%
+// bucket resolution (plus one bucket of slack).
+func TestLogHistQuantileAccuracyProperty(t *testing.T) {
+	f := func(raw []uint32, qRaw uint8) bool {
+		if len(raw) < 10 {
+			return true
+		}
+		q := 0.5 + float64(qRaw)/512 // quantiles in [0.5, 1)
+		exact := NewHist(len(raw))
+		lh := NewLogHist()
+		for _, r := range raw {
+			d := sim.Duration(r%100_000_000) + 1 // up to 100ms
+			exact.Add(d)
+			lh.Add(d)
+		}
+		e := float64(exact.P(q))
+		a := float64(lh.P(q))
+		if e == 0 {
+			return a <= float64(lh.bucketUpper(0))
+		}
+		rel := math.Abs(a-e) / e
+		return rel < 0.05 // 2% bucket + rank-rounding slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogHistFracLEMonotone(t *testing.T) {
+	h := NewLogHist()
+	r := []sim.Duration{10, 100, 1000, 10000, 100000}
+	for _, d := range r {
+		for i := 0; i < 10; i++ {
+			h.Add(d)
+		}
+	}
+	prev := -1.0
+	for d := sim.Duration(1); d <= 1_000_000; d *= 2 {
+		f := h.FracLE(d)
+		if f < prev {
+			t.Fatalf("FracLE not monotone at %v: %f < %f", d, f, prev)
+		}
+		prev = f
+	}
+	if h.FracLE(10_000_000) != 1 {
+		t.Fatal("FracLE beyond max != 1")
+	}
+}
+
+func TestLogHistMerge(t *testing.T) {
+	a, b := NewLogHist(), NewLogHist()
+	for i := 0; i < 100; i++ {
+		a.Add(sim.Duration(1000))
+		b.Add(sim.Duration(1_000_000))
+	}
+	a.Merge(b)
+	if a.N() != 200 {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	if a.Max() != 1_000_000 {
+		t.Fatalf("merged max = %v", a.Max())
+	}
+	med := a.P(0.5)
+	if med > 2000 {
+		t.Fatalf("merged median %v, want ~1µs", med)
+	}
+	p99 := a.P(0.99)
+	if p99 < 900_000 {
+		t.Fatalf("merged P99 %v, want ~1ms", p99)
+	}
+}
+
+func TestLogHistP100CappedAtMax(t *testing.T) {
+	h := NewLogHist()
+	h.Add(123_456)
+	if h.P(1.0) != 123_456 {
+		t.Fatalf("P100 = %v, want the exact max", h.P(1.0))
+	}
+}
+
+func TestLogHistNegativeClamped(t *testing.T) {
+	h := NewLogHist()
+	h.Add(-5)
+	if h.N() != 1 || h.P(1.0) < 0 {
+		t.Fatal("negative sample not clamped")
+	}
+}

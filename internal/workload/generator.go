@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"nmapsim/internal/sim"
+)
+
+// BurstPattern shapes the open-loop arrival process: within each Period,
+// arrivals are Poisson for the first BurstFrac·Period and zero for the
+// rest — the "repetitive bursts along with idle periods" traffic of
+// §3.1. The rate ramps linearly from zero to the peak over the first
+// Ramp of each burst (client threads and congestion windows opening),
+// which is the "early part of the burst before the load reaches the
+// peak" that the §4.2 profiling observes.
+type BurstPattern struct {
+	Period    sim.Duration
+	BurstFrac float64
+	// Ramp is the linear ramp-up time at the start of each burst;
+	// defaults to 5ms when zero (set to a negative value for a square
+	// burst).
+	Ramp sim.Duration
+}
+
+// DefaultBurst matches the ~10Hz burst cadence visible in Fig 2, with
+// 40ms bursts (2.5× peak-to-average) and a 5ms ramp.
+func DefaultBurst() BurstPattern {
+	return BurstPattern{Period: 100 * sim.Millisecond, BurstFrac: 0.4, Ramp: 5 * sim.Millisecond}
+}
+
+func (b BurstPattern) ramp() sim.Duration {
+	if b.Ramp < 0 {
+		return 0
+	}
+	if b.Ramp == 0 {
+		return 5 * sim.Millisecond
+	}
+	return b.Ramp
+}
+
+// burstLen returns the burst window length.
+func (b BurstPattern) burstLen() sim.Duration {
+	return sim.Duration(float64(b.Period) * b.BurstFrac)
+}
+
+// PeakRate returns the within-burst peak arrival rate for a given
+// average offered load (requests/second), compensating for the ramp so
+// the long-run average matches avgRPS.
+func (b BurstPattern) PeakRate(avgRPS float64) float64 {
+	if b.BurstFrac <= 0 || b.BurstFrac >= 1 {
+		return avgRPS
+	}
+	l := float64(b.burstLen())
+	r := float64(b.ramp())
+	if r > l {
+		r = l
+	}
+	// Area under the ramped burst = peak·(L - R/2).
+	return avgRPS * float64(b.Period) / (l - r/2)
+}
+
+// rateFrac returns the instantaneous rate at t as a fraction of the
+// peak (0 outside bursts, ramping linearly at burst start).
+func (b BurstPattern) rateFrac(t sim.Time) float64 {
+	off := sim.Duration(int64(t) % int64(b.Period))
+	if off >= b.burstLen() {
+		return 0
+	}
+	r := b.ramp()
+	if r <= 0 || off >= r {
+		return 1
+	}
+	return float64(off) / float64(r)
+}
+
+// inBurst reports whether t falls inside a burst window, and if not,
+// when the next burst starts.
+func (b BurstPattern) inBurst(t sim.Time) (bool, sim.Time) {
+	p := int64(b.Period)
+	off := int64(t) % p
+	if off < int64(b.burstLen()) {
+		return true, 0
+	}
+	next := sim.Time(int64(t) - off + p)
+	return false, next
+}
+
+// Generator produces the open-loop request stream. Deliver is invoked at
+// each arrival instant with a freshly built request; the server assembly
+// adds network latency and NIC ingress.
+type Generator struct {
+	Eng     *sim.Engine
+	RNG     *sim.RNG
+	Profile *Profile
+	Pattern BurstPattern
+	// RPS is the average offered load.
+	RPS float64
+	// Deliver receives each request at its send instant.
+	Deliver func(*Request)
+
+	// VariableLevels, if non-empty, switches the offered load to a
+	// random member every SwitchPeriod (the Fig 16 workload).
+	VariableLevels []float64
+	SwitchPeriod   sim.Duration
+	// LevelChanged, if set, is informed of each switch (for tracing).
+	LevelChanged func(t sim.Time, rps float64)
+
+	nextID  uint64
+	stopped bool
+	curRPS  float64
+}
+
+// Start begins generating arrivals immediately.
+func (g *Generator) Start() {
+	g.curRPS = g.RPS
+	if len(g.VariableLevels) > 0 {
+		if g.SwitchPeriod <= 0 {
+			g.SwitchPeriod = 500 * sim.Millisecond
+		}
+		g.switchLevel()
+	}
+	g.scheduleNext()
+}
+
+// Stop halts the generator after any already-scheduled arrival.
+func (g *Generator) Stop() { g.stopped = true }
+
+func (g *Generator) switchLevel() {
+	g.curRPS = g.VariableLevels[g.RNG.Intn(len(g.VariableLevels))]
+	if g.LevelChanged != nil {
+		g.LevelChanged(g.Eng.Now(), g.curRPS)
+	}
+	g.Eng.Schedule(g.SwitchPeriod, func() {
+		if !g.stopped {
+			g.switchLevel()
+		}
+	})
+}
+
+// scheduleNext schedules the next arrival according to the burst pattern.
+func (g *Generator) scheduleNext() {
+	if g.stopped {
+		return
+	}
+	now := g.Eng.Now()
+	peak := g.Pattern.PeakRate(g.curRPS)
+	if peak <= 0 {
+		return
+	}
+	meanGap := sim.Duration(1e9 / peak)
+	in, next := g.Pattern.inBurst(now)
+	var at sim.Time
+	if in {
+		at = now + sim.Time(g.RNG.ExpDur(meanGap))
+		// If the gap crosses the burst end, fold into the next burst.
+		if in2, next2 := g.Pattern.inBurst(at); !in2 {
+			at = next2 + sim.Time(g.RNG.ExpDur(meanGap))
+		}
+	} else {
+		at = next + sim.Time(g.RNG.ExpDur(meanGap))
+	}
+	g.Eng.At(at, g.emit)
+}
+
+func (g *Generator) emit() {
+	if g.stopped {
+		return
+	}
+	// Thinning for the ramp: accept this arrival with probability equal
+	// to the instantaneous rate fraction.
+	if frac := g.Pattern.rateFrac(g.Eng.Now()); frac < 1 && g.RNG.Float64() >= frac {
+		g.scheduleNext()
+		return
+	}
+	g.nextID++
+	r := &Request{
+		ID:        g.nextID,
+		Flow:      g.nextID % uint64(g.Profile.Flows),
+		Sent:      g.Eng.Now(),
+		AppCycles: g.Profile.SampleAppCycles(g.RNG),
+	}
+	g.Deliver(r)
+	g.scheduleNext()
+}

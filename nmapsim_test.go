@@ -1,0 +1,123 @@
+package nmapsim
+
+import (
+	"testing"
+)
+
+func quickScenario() Scenario {
+	return Scenario{
+		App: "memcached", Policy: "ondemand", Load: "low",
+		Seed: 9, WarmupMs: 50, DurationMs: 150,
+	}
+}
+
+func TestScenarioRun(t *testing.T) {
+	res, err := quickScenario().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests measured")
+	}
+	if res.P99 <= 0 || res.EnergyJ <= 0 || res.AvgPowerW <= 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.SLOMs != 1.0 {
+		t.Fatalf("memcached SLO = %f ms, want 1", res.SLOMs)
+	}
+	if res.Hist == nil || res.Hist.N() != res.Requests {
+		t.Fatal("histogram not exposed")
+	}
+}
+
+func TestScenarioDefaults(t *testing.T) {
+	// Empty scenario must resolve to memcached/nmap/menu/high.
+	s := Scenario{WarmupMs: 50, DurationMs: 100}
+	spec, err := s.spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Policy != "nmap" || spec.Idle != "menu" {
+		t.Fatalf("defaults wrong: %+v", spec)
+	}
+	if spec.Cfg.Profile.Name != "memcached" {
+		t.Fatalf("default app = %s", spec.Cfg.Profile.Name)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if _, err := (Scenario{App: "redis"}).Run(); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := (Scenario{Load: "ludicrous"}).Run(); err == nil {
+		t.Fatal("unknown load accepted")
+	}
+	if _, err := (Scenario{Policy: "quantum"}).Run(); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	s := quickScenario()
+	out, err := Compare(s, "performance", "powersave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("results = %d", len(out))
+	}
+	if out["performance"].EnergyJ <= out["powersave"].EnergyJ {
+		t.Fatal("performance must cost more energy than powersave at equal load")
+	}
+}
+
+func TestExplicitRPSOverridesLoad(t *testing.T) {
+	s := quickScenario()
+	s.RPS = 10_000
+	s.DurationMs = 300
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10K RPS over a 300ms window ≈ 3000 requests (± one burst of 1000,
+	// since arrivals are concentrated in 40ms bursts per 100ms period).
+	if res.Requests < 2000 || res.Requests > 4000 {
+		t.Fatalf("requests = %d, want ~3000 at 10K RPS over 300ms", res.Requests)
+	}
+}
+
+func TestProfileThresholdsFacade(t *testing.T) {
+	th, err := ProfileThresholds("memcached", 901)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.NITh <= 0 || th.CUTh <= 0 {
+		t.Fatalf("bad thresholds: %+v", th)
+	}
+	if _, err := ProfileThresholds("redis", 0); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestPolicyListsExposed(t *testing.T) {
+	if len(Policies) < 10 {
+		t.Fatalf("Policies = %v", Policies)
+	}
+	if len(IdlePolicies) != 3 {
+		t.Fatalf("IdlePolicies = %v", IdlePolicies)
+	}
+}
+
+func TestDeterministicFacade(t *testing.T) {
+	a, err := quickScenario().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := quickScenario().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.P99 != b.P99 || a.EnergyJ != b.EnergyJ {
+		t.Fatal("same scenario diverged")
+	}
+}
