@@ -1,0 +1,31 @@
+# CI entry points for the NMAP reproduction. `make ci` is what a
+# pipeline should run; the individual targets exist for local use.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench clean
+
+ci: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiments exercise goroutine fan-out, so the tier-1 gate runs
+# them under the race detector.
+race:
+	$(GO) test -race ./...
+
+# Refresh the tracked performance baseline: engine ns/op + allocs/op and
+# the serial-vs-parallel wall-clock of the Fig 12/13 quick matrix.
+bench:
+	$(GO) run ./cmd/nmapbench -o BENCH_sim.json
+	@cat BENCH_sim.json
+
+clean:
+	$(GO) clean ./...

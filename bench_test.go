@@ -16,6 +16,7 @@ import (
 )
 
 func BenchmarkTable1ReTransitionLatency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.Table1(100)
 		if len(rows) != 24 {
@@ -26,6 +27,7 @@ func BenchmarkTable1ReTransitionLatency(b *testing.B) {
 }
 
 func BenchmarkTable2WakeupLatency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.Table2(100)
 		if len(rows) != 8 {
@@ -36,6 +38,7 @@ func BenchmarkTable2WakeupLatency(b *testing.B) {
 }
 
 func BenchmarkFig2OndemandTrace(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		figs := experiments.Fig2(experiments.Quick)
 		b.ReportMetric(sum(figs[0].PktPoll), "memcached-polling-pkts")
@@ -44,6 +47,7 @@ func BenchmarkFig2OndemandTrace(b *testing.B) {
 }
 
 func BenchmarkFig3PerRequestLatency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		figs := experiments.Fig3And4(experiments.Quick)
 		b.ReportMetric(figs[0].Result.Summary.P99.Millis(), "ondemand-p99-ms")
@@ -52,6 +56,7 @@ func BenchmarkFig3PerRequestLatency(b *testing.B) {
 }
 
 func BenchmarkFig4LatencyCDF(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		figs := experiments.Fig3And4(experiments.Quick)
 		b.ReportMetric(figs[0].FracUnder*100, "ondemand-within-slo-pct")
@@ -60,6 +65,7 @@ func BenchmarkFig4LatencyCDF(b *testing.B) {
 }
 
 func BenchmarkFig7SleepStateTrace(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		figs := experiments.Fig7(experiments.Quick)
 		b.ReportMetric(sum(figs[0].CC6), "low-load-cc6-entries")
@@ -68,6 +74,7 @@ func BenchmarkFig7SleepStateTrace(b *testing.B) {
 }
 
 func BenchmarkFig8SleepPolicySweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts := experiments.Fig8(experiments.Quick)
 		var menu, disable, c6 float64
@@ -90,6 +97,7 @@ func BenchmarkFig8SleepPolicySweep(b *testing.B) {
 }
 
 func BenchmarkFig9NMAPTrace(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		figs := experiments.Fig9(experiments.Quick)
 		b.ReportMetric(figs[0].Result.Summary.P99.Millis(), "memcached-p99-ms")
@@ -97,6 +105,7 @@ func BenchmarkFig9NMAPTrace(b *testing.B) {
 }
 
 func BenchmarkFig10NMAPLatency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		figs := experiments.Fig10And11(experiments.Quick)
 		b.ReportMetric(figs[0].Result.Summary.P99.Millis(), "memcached-p99-ms")
@@ -104,6 +113,7 @@ func BenchmarkFig10NMAPLatency(b *testing.B) {
 }
 
 func BenchmarkFig11NMAPCDF(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		figs := experiments.Fig10And11(experiments.Quick)
 		b.ReportMetric((1-figs[0].FracUnder)*100, "memcached-over-slo-pct")
@@ -112,6 +122,7 @@ func BenchmarkFig11NMAPCDF(b *testing.B) {
 }
 
 func BenchmarkFig12P99Matrix(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cells := experiments.Fig12And13(experiments.Quick)
 		b.ReportMetric(pickP99(cells, "memcached", workload.High, "ondemand"), "ondemand-high-p99-ms")
@@ -120,6 +131,7 @@ func BenchmarkFig12P99Matrix(b *testing.B) {
 }
 
 func BenchmarkFig13EnergyMatrix(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cells := experiments.Fig12And13(experiments.Quick)
 		perf := pickEnergy(cells, "memcached", workload.Low, "performance")
@@ -129,6 +141,7 @@ func BenchmarkFig13EnergyMatrix(b *testing.B) {
 }
 
 func BenchmarkFig14SOTAP99(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cells := experiments.Fig14And15(experiments.Quick)
 		b.ReportMetric(pickP99(cells, "memcached", workload.High, "ncap"), "ncap-high-p99-ms")
@@ -137,6 +150,7 @@ func BenchmarkFig14SOTAP99(b *testing.B) {
 }
 
 func BenchmarkFig15SOTAEnergy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cells := experiments.Fig14And15(experiments.Quick)
 		ncap := pickEnergy(cells, "memcached", workload.Medium, "ncap")
@@ -146,6 +160,7 @@ func BenchmarkFig15SOTAEnergy(b *testing.B) {
 }
 
 func BenchmarkFig16SwitchingLoad(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := experiments.Fig16(experiments.Quick)
 		b.ReportMetric(res[0].FracOverSLO*100, "nmap-over-slo-pct")
@@ -154,6 +169,7 @@ func BenchmarkFig16SwitchingLoad(b *testing.B) {
 }
 
 func BenchmarkAblationPerRequestDVFS(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cells := experiments.AblationPerRequest(experiments.Quick)
 		for _, c := range cells {
@@ -166,6 +182,7 @@ func BenchmarkAblationPerRequestDVFS(b *testing.B) {
 }
 
 func BenchmarkAblationThresholdSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cells := experiments.AblationThresholds(experiments.Quick)
 		b.ReportMetric(cells[0].P99.Millis(), "nith-quarter-p99-ms")
@@ -174,6 +191,7 @@ func BenchmarkAblationThresholdSweep(b *testing.B) {
 }
 
 func BenchmarkAblationChipWideNMAP(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cells := experiments.AblationChipWide(experiments.Quick)
 		b.ReportMetric(cells[0].EnergyJ, "per-core-energy-j")

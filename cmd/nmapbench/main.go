@@ -1,0 +1,180 @@
+// Command nmapbench records the performance baseline the CI tracks: the
+// DES engine microbenchmarks (ns/op and allocs/op for the steady-state
+// schedule/fire and cancel paths, plus the histogram percentile query)
+// and the wall-clock of the Fig 12/13 quick-quality matrix run serially
+// and with the parallel harness. Results are written as JSON (default
+// BENCH_sim.json) so successive PRs can diff them.
+//
+// Usage:
+//
+//	nmapbench [-o FILE] [-parallel N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"nmapsim/internal/experiments"
+	"nmapsim/internal/sim"
+	"nmapsim/internal/stats"
+	"nmapsim/internal/workload"
+)
+
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type baseline struct {
+	GOOS       string                 `json:"goos"`
+	GOARCH     string                 `json:"goarch"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Engine     map[string]benchResult `json:"engine"`
+	Fig12Quick fig12Times             `json:"fig12_quick"`
+}
+
+type fig12Times struct {
+	SerialMs   float64 `json:"serial_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	Workers    int     `json:"parallel_workers"`
+	Speedup    float64 `json:"speedup"`
+}
+
+func toResult(r testing.BenchmarkResult) benchResult {
+	return benchResult{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// The three engine microbenchmarks, mirroring the ones in the package
+// test suites (internal/sim and internal/stats) so the baseline can be
+// produced by a plain binary without -bench plumbing.
+
+func benchScheduleFire() testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		e := sim.NewEngine()
+		fn := func() {}
+		for i := 0; i < 64; i++ {
+			e.Schedule(sim.Duration(i%7), fn)
+		}
+		e.RunAll()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Schedule(sim.Duration(i%97), fn)
+			e.RunAll()
+		}
+	})
+}
+
+func benchCancel() testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		e := sim.NewEngine()
+		fn := func() {}
+		for i := 0; i < 1024; i++ {
+			e.Schedule(sim.Duration(1000+i), fn)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev := e.Schedule(sim.Duration(i%997), fn)
+			if !ev.Cancel() {
+				b.Fatal("cancel failed")
+			}
+		}
+	})
+}
+
+func benchHistPercentile() testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		h := stats.NewHist(100_000)
+		r := sim.NewRNG(42)
+		for i := 0; i < 100_000; i++ {
+			h.Add(sim.Duration(r.Exp(500_000)))
+		}
+		h.P(0.5)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if h.P(0.99) == 0 {
+				b.Fatal("empty percentile")
+			}
+		}
+	})
+}
+
+func timeFig12(workers int) time.Duration {
+	experiments.SetParallelism(workers)
+	defer experiments.SetParallelism(0)
+	start := time.Now()
+	cells := experiments.Fig12And13(experiments.Quick)
+	if len(cells) == 0 {
+		panic("empty Fig12 matrix")
+	}
+	return time.Since(start)
+}
+
+func main() {
+	out := flag.String("o", "BENCH_sim.json", "output file")
+	parallel := flag.Int("parallel", 0,
+		"worker count for the parallel Fig12 timing (0 = one per CPU)")
+	flag.Parse()
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Warm the NMAP threshold cache so both timings measure the matrix
+	// itself, not the one-off offline profiling.
+	for _, prof := range workload.Profiles() {
+		experiments.ProfiledThresholds(prof, 1002)
+	}
+
+	b := baseline{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Engine: map[string]benchResult{
+			"EngineScheduleFire": toResult(benchScheduleFire()),
+			"EngineCancel":       toResult(benchCancel()),
+			"HistPercentile":     toResult(benchHistPercentile()),
+		},
+	}
+
+	serial := timeFig12(1)
+	par := timeFig12(workers)
+	b.Fig12Quick = fig12Times{
+		SerialMs:   float64(serial.Microseconds()) / 1000,
+		ParallelMs: float64(par.Microseconds()) / 1000,
+		Workers:    workers,
+		Speedup:    float64(serial) / float64(par),
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nmapbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		fmt.Fprintf(os.Stderr, "nmapbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("engine: schedule+fire %.1f ns/op (%d allocs/op), cancel %.1f ns/op (%d allocs/op), hist P99 %.1f ns/op\n",
+		b.Engine["EngineScheduleFire"].NsPerOp, b.Engine["EngineScheduleFire"].AllocsPerOp,
+		b.Engine["EngineCancel"].NsPerOp, b.Engine["EngineCancel"].AllocsPerOp,
+		b.Engine["HistPercentile"].NsPerOp)
+	fmt.Printf("fig12 quick: serial %.0fms, parallel(%d) %.0fms, speedup %.2fx\n",
+		b.Fig12Quick.SerialMs, b.Fig12Quick.Workers, b.Fig12Quick.ParallelMs, b.Fig12Quick.Speedup)
+}

@@ -28,7 +28,10 @@ func main() {
 	durMS := flag.Int("dur", 500, "measured window per run, milliseconds")
 	withCDF := flag.Bool("cdf", false, "include latency CDFs in the records")
 	out := flag.String("o", "", "output file (default stdout)")
+	parallel := flag.Int("parallel", 0,
+		"simulation cells in flight at once (0 = one per CPU, 1 = serial)")
 	flag.Parse()
+	experiments.SetParallelism(*parallel)
 
 	var profs []*workload.Profile
 	switch *app {
@@ -43,13 +46,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	var records []experiments.Record
+	var specs []experiments.Spec
 	for _, prof := range profs {
 		for _, lvl := range workload.Levels {
 			for _, pol := range strings.Split(*policies, ",") {
 				pol = strings.TrimSpace(pol)
 				for s := 0; s < *seeds; s++ {
-					spec := experiments.Spec{
+					specs = append(specs, experiments.Spec{
 						Policy: pol,
 						Idle:   *idle,
 						Cfg: server.Config{
@@ -59,18 +62,23 @@ func main() {
 							Warmup:   200 * sim.Millisecond,
 							Duration: sim.Duration(*durMS) * sim.Millisecond,
 						},
-					}
-					res, err := experiments.Run(spec)
-					if err != nil {
-						fmt.Fprintf(os.Stderr, "nmapreport: %v\n", err)
-						os.Exit(1)
-					}
-					records = append(records, experiments.NewRecord(spec, res, *withCDF))
-					fmt.Fprintf(os.Stderr, "done %s/%s/%s seed=%d p99=%.3fms\n",
-						prof.Name, lvl, pol, 42+s, res.Summary.P99.Millis())
+					})
 				}
 			}
 		}
+	}
+	results, err := experiments.RunSpecs(specs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nmapreport: %v\n", err)
+		os.Exit(1)
+	}
+	records := make([]experiments.Record, len(specs))
+	for i, res := range results {
+		spec := specs[i]
+		records[i] = experiments.NewRecord(spec, res, *withCDF)
+		fmt.Fprintf(os.Stderr, "done %s/%s/%s seed=%d p99=%.3fms\n",
+			spec.Cfg.Profile.Name, spec.Cfg.Level, spec.Policy, spec.Cfg.Seed,
+			res.Summary.P99.Millis())
 	}
 
 	w := os.Stdout

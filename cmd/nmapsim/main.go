@@ -22,6 +22,8 @@ import (
 
 var quick = flag.Bool("quick", false, "use short measurement windows (smoke-test quality)")
 var list = flag.Bool("list", false, "list available experiments")
+var parallel = flag.Int("parallel", 0,
+	"simulation cells in flight at once (0 = one per CPU, 1 = serial)")
 
 type experiment struct {
 	name, desc string
@@ -125,6 +127,7 @@ func runFig1415(q experiments.Quality) {
 
 func main() {
 	flag.Parse()
+	experiments.SetParallelism(*parallel)
 	if *list || flag.NArg() == 0 {
 		fmt.Println("available experiments:")
 		for _, e := range catalog {

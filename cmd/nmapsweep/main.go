@@ -30,7 +30,10 @@ func main() {
 	durMS := flag.Int("dur", 500, "measured window per point, milliseconds")
 	inflection := flag.Bool("inflection", false,
 		"locate the latency-load knee (the paper's SLO-setting procedure) and exit")
+	parallel := flag.Int("parallel", 0,
+		"simulation cells in flight at once (0 = one per CPU, 1 = serial)")
 	flag.Parse()
+	experiments.SetParallelism(*parallel)
 
 	var prof *workload.Profile
 	switch *app {
@@ -58,9 +61,10 @@ func main() {
 		fmt.Sprintf("latency-load sweep: %s, policy=%s idle=%s (SLO %.1fms)",
 			prof.Name, *policy, *idle, prof.SLO.Millis()),
 		"RPS", "p50", "p99", "p99/SLO", "energy(J)", "avg power(W)")
-	for i := 1; i <= *points; i++ {
-		rps := prof.HighRPS * float64(i) / float64(*points)
-		res, err := experiments.Run(experiments.Spec{
+	specs := make([]experiments.Spec, *points)
+	for i := range specs {
+		rps := prof.HighRPS * float64(i+1) / float64(*points)
+		specs[i] = experiments.Spec{
 			Policy: *policy,
 			Idle:   *idle,
 			Cfg: server.Config{
@@ -70,11 +74,15 @@ func main() {
 				Warmup:   200 * sim.Millisecond,
 				Duration: sim.Duration(*durMS) * sim.Millisecond,
 			},
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "nmapsweep: %v\n", err)
-			os.Exit(1)
 		}
+	}
+	results, err := experiments.RunSpecs(specs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nmapsweep: %v\n", err)
+		os.Exit(1)
+	}
+	for i, res := range results {
+		rps := specs[i].Cfg.RPS
 		t.Row(fmt.Sprintf("%.0fK", rps/1000),
 			fmt.Sprintf("%.3fms", res.Summary.P50.Millis()),
 			fmt.Sprintf("%.3fms", res.Summary.P99.Millis()),

@@ -16,7 +16,7 @@ type Exec struct {
 	core      *Core
 	remaining float64 // cycles left at the last reschedule point
 	done      func()
-	ev        *sim.Event
+	ev        sim.Event
 	since     sim.Time // when the current segment started
 	freq      float64  // GHz during the current segment
 	penalty   sim.Duration
@@ -90,7 +90,7 @@ type Core struct {
 	// P-state machinery.
 	cur        int // operating point in effect
 	pending    int // target of an in-flight transition (-1 if none)
-	pendingEv  *sim.Event
+	pendingEv  sim.Event
 	lastEffect sim.Time // when the most recent transition took effect
 	everSet    bool     // whether any transition has ever been issued
 
@@ -243,15 +243,13 @@ func (c *Core) SetPState(p int) sim.Duration {
 	} else {
 		lat = c.model.ACPILatency
 	}
-	if c.pendingEv != nil {
-		c.pendingEv.Cancel()
-	}
+	c.pendingEv.Cancel()
 	c.pending = p
 	c.pendingEv = c.eng.Schedule(lat, func() {
 		c.settle()
 		c.cur = p
 		c.pending = -1
-		c.pendingEv = nil
+		c.pendingEv = sim.Event{}
 		c.lastEffect = c.eng.Now()
 		c.everSet = true
 		c.transCount++

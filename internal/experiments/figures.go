@@ -235,17 +235,18 @@ type Fig8Point struct {
 
 // Fig8 sweeps the memcached load under the performance governor for the
 // three sleep-state policies. Energy is reported raw; the caller
-// normalises to menu as the paper does.
+// normalises to menu as the paper does. Cells run on the harness worker
+// pool in deterministic order.
 func Fig8(q Quality) []Fig8Point {
 	prof := workload.Memcached()
 	loads := []float64{30_000, 150_000, 290_000, 450_000, 600_000, 750_000}
 	if q == Quick {
 		loads = []float64{30_000, 290_000, 750_000}
 	}
-	var out []Fig8Point
+	var specs []Spec
 	for _, idle := range []string{"menu", "disable", "c6only"} {
 		for _, rps := range loads {
-			res := MustRun(Spec{
+			specs = append(specs, Spec{
 				Policy: "performance",
 				Idle:   idle,
 				Cfg: server.Config{
@@ -256,8 +257,13 @@ func Fig8(q Quality) []Fig8Point {
 					Duration: q.duration(),
 				},
 			})
-			out = append(out, Fig8Point{RPS: rps, Idle: idle, P99: res.Summary.P99, EnergyJ: res.EnergyJ})
 		}
+	}
+	results := mustRunSpecs(specs)
+	out := make([]Fig8Point, len(specs))
+	for i, res := range results {
+		out[i] = Fig8Point{RPS: specs[i].Cfg.RPS, Idle: specs[i].Idle,
+			P99: res.Summary.P99, EnergyJ: res.EnergyJ}
 	}
 	return out
 }
@@ -276,14 +282,17 @@ type MatrixCell struct {
 }
 
 // RunMatrix runs the cross product of the given policies, idle policies
-// and load levels on both applications.
+// and load levels on both applications. Cells fan out over the harness
+// worker pool; the returned slice is in the serial cross-product order
+// and is byte-for-byte independent of the fan-out.
 func RunMatrix(policies, idles []string, q Quality) []MatrixCell {
-	var out []MatrixCell
+	var specs []Spec
+	var meta []MatrixCell
 	for _, prof := range workload.Profiles() {
 		for _, lvl := range workload.Levels {
 			for _, pol := range policies {
 				for _, idle := range idles {
-					res := MustRun(Spec{
+					specs = append(specs, Spec{
 						Policy: pol,
 						Idle:   idle,
 						Cfg: server.Config{
@@ -294,14 +303,18 @@ func RunMatrix(policies, idles []string, q Quality) []MatrixCell {
 							Duration: q.duration(),
 						},
 					})
-					out = append(out, MatrixCell{
-						App: prof.Name, Level: lvl, Policy: pol, Idle: idle, Result: res,
+					meta = append(meta, MatrixCell{
+						App: prof.Name, Level: lvl, Policy: pol, Idle: idle,
 					})
 				}
 			}
 		}
 	}
-	return out
+	results := mustRunSpecs(specs)
+	for i := range meta {
+		meta[i].Result = results[i]
+	}
+	return meta
 }
 
 // Fig12And13 reproduces the Fig 12 (P99) and Fig 13 (energy) matrix:
@@ -407,11 +420,14 @@ func AblationPerRequest(q Quality) []AblationCell {
 		Seed: defaultSeed, Profile: prof, Level: workload.High,
 		Warmup: q.warmup(), Duration: q.duration(),
 	}
-	var out []AblationCell
+	var specs []Spec
 	for _, pol := range []string{"nmap", "ondemand"} {
-		res := MustRun(Spec{Policy: pol, Idle: "menu", Cfg: cfg})
+		specs = append(specs, Spec{Policy: pol, Idle: "menu", Cfg: cfg})
+	}
+	var out []AblationCell
+	for i, res := range mustRunSpecs(specs) {
 		out = append(out, AblationCell{
-			Name: pol, P99: res.Summary.P99, EnergyJ: res.EnergyJ,
+			Name: specs[i].Policy, P99: res.Summary.P99, EnergyJ: res.EnergyJ,
 			Transitions: res.Transitions, Violated: res.Violated,
 		})
 	}
@@ -435,11 +451,12 @@ func AblationPerRequest(q Quality) []AblationCell {
 func AblationThresholds(q Quality) []AblationCell {
 	prof := workload.Memcached()
 	base := ProfiledThresholds(prof, 1042)
-	var out []AblationCell
-	for _, mult := range []float64{0.25, 0.5, 1, 2, 4} {
+	mults := []float64{0.25, 0.5, 1, 2, 4}
+	specs := make([]Spec, len(mults))
+	for i, mult := range mults {
 		th := base
 		th.NITh = base.NITh * mult
-		res := MustRun(Spec{
+		specs[i] = Spec{
 			Policy:     "nmap",
 			Idle:       "menu",
 			Thresholds: th,
@@ -447,9 +464,12 @@ func AblationThresholds(q Quality) []AblationCell {
 				Seed: defaultSeed, Profile: prof, Level: workload.High,
 				Warmup: q.warmup(), Duration: q.duration(),
 			},
-		})
+		}
+	}
+	var out []AblationCell
+	for i, res := range mustRunSpecs(specs) {
 		out = append(out, AblationCell{
-			Name: "NI_TH x" + ftoa(mult), P99: res.Summary.P99,
+			Name: "NI_TH x" + ftoa(mults[i]), P99: res.Summary.P99,
 			EnergyJ: res.EnergyJ, Transitions: res.Transitions, Violated: res.Violated,
 		})
 	}
@@ -460,13 +480,15 @@ func AblationThresholds(q Quality) []AblationCell {
 // (the §6.3 argument for why NMAP beats NCAP).
 func AblationChipWide(q Quality) []AblationCell {
 	prof := workload.Memcached()
-	var out []AblationCell
+	var specs []Spec
+	var names []string
 	for _, chipWide := range []bool{false, true} {
 		name := "nmap-per-core"
 		if chipWide {
 			name = "nmap-chip-wide"
 		}
-		res := MustRun(Spec{
+		names = append(names, name)
+		specs = append(specs, Spec{
 			Policy: "nmap",
 			Idle:   "menu",
 			Cfg: server.Config{
@@ -475,8 +497,11 @@ func AblationChipWide(q Quality) []AblationCell {
 				ForceChipWide: chipWide,
 			},
 		})
+	}
+	var out []AblationCell
+	for i, res := range mustRunSpecs(specs) {
 		out = append(out, AblationCell{
-			Name: name, P99: res.Summary.P99, EnergyJ: res.EnergyJ,
+			Name: names[i], P99: res.Summary.P99, EnergyJ: res.EnergyJ,
 			Transitions: res.Transitions, Violated: res.Violated,
 		})
 	}
@@ -488,9 +513,9 @@ func AblationChipWide(q Quality) []AblationCell {
 // sleep-state integration.
 func AblationExtensions(q Quality) []AblationCell {
 	prof := workload.Memcached()
-	var out []AblationCell
+	var specs []Spec
 	for _, pol := range []string{"nmap", "nmap-online", "nmap-sleep"} {
-		res := MustRun(Spec{
+		specs = append(specs, Spec{
 			Policy: pol,
 			Idle:   "menu",
 			Cfg: server.Config{
@@ -498,8 +523,11 @@ func AblationExtensions(q Quality) []AblationCell {
 				Warmup: q.warmup(), Duration: q.duration(),
 			},
 		})
+	}
+	var out []AblationCell
+	for i, res := range mustRunSpecs(specs) {
 		out = append(out, AblationCell{
-			Name: pol, P99: res.Summary.P99, EnergyJ: res.EnergyJ,
+			Name: specs[i].Policy, P99: res.Summary.P99, EnergyJ: res.EnergyJ,
 			Transitions: res.Transitions, Violated: res.Violated,
 		})
 	}
@@ -511,7 +539,8 @@ func AblationExtensions(q Quality) []AblationCell {
 // so pulling every core to the hottest core's frequency wastes energy.
 func AblationRSS(q Quality) []AblationCell {
 	prof := workload.Memcached()
-	var out []AblationCell
+	var specs []Spec
+	var names []string
 	for _, flows := range []int{40, 12} {
 		for _, chipWide := range []bool{false, true} {
 			name := "per-core"
@@ -523,7 +552,8 @@ func AblationRSS(q Quality) []AblationCell {
 			} else {
 				name += "/lumpy-rss"
 			}
-			res := MustRun(Spec{
+			names = append(names, name)
+			specs = append(specs, Spec{
 				Policy: "nmap",
 				Idle:   "menu",
 				Cfg: server.Config{
@@ -532,11 +562,14 @@ func AblationRSS(q Quality) []AblationCell {
 					Warmup: q.warmup(), Duration: q.duration(),
 				},
 			})
-			out = append(out, AblationCell{
-				Name: name, P99: res.Summary.P99, EnergyJ: res.EnergyJ,
-				Transitions: res.Transitions, Violated: res.Violated,
-			})
 		}
+	}
+	var out []AblationCell
+	for i, res := range mustRunSpecs(specs) {
+		out = append(out, AblationCell{
+			Name: names[i], P99: res.Summary.P99, EnergyJ: res.EnergyJ,
+			Transitions: res.Transitions, Violated: res.Violated,
+		})
 	}
 	return out
 }
@@ -546,10 +579,10 @@ func AblationRSS(q Quality) []AblationCell {
 // bursty the hardirq load is, so it bounds NMAP's detection texture.
 func AblationITR(q Quality) []AblationCell {
 	prof := workload.Memcached()
-	var out []AblationCell
+	var specs []Spec
 	for _, itr := range []sim.Duration{5 * sim.Microsecond, 10 * sim.Microsecond,
 		20 * sim.Microsecond, 50 * sim.Microsecond} {
-		res := MustRun(Spec{
+		specs = append(specs, Spec{
 			Policy: "nmap",
 			Idle:   "menu",
 			Cfg: server.Config{
@@ -558,8 +591,11 @@ func AblationITR(q Quality) []AblationCell {
 				Warmup: q.warmup(), Duration: q.duration(),
 			},
 		})
+	}
+	var out []AblationCell
+	for i, res := range mustRunSpecs(specs) {
 		out = append(out, AblationCell{
-			Name: "ITR=" + itr.String(), P99: res.Summary.P99, EnergyJ: res.EnergyJ,
+			Name: "ITR=" + specs[i].Cfg.ITR.String(), P99: res.Summary.P99, EnergyJ: res.EnergyJ,
 			Transitions: res.Transitions, Violated: res.Violated,
 		})
 	}

@@ -52,9 +52,9 @@ type MicroSLOCell struct {
 // sits in between.
 func AblationMicroSLO(q Quality) []MicroSLOCell {
 	prof := MicroService()
-	var out []MicroSLOCell
-	run := func(policy, idle string) {
-		res := MustRun(Spec{
+	var specs []Spec
+	add := func(policy, idle string) {
+		specs = append(specs, Spec{
 			Policy: policy,
 			Idle:   idle,
 			Cfg: server.Config{
@@ -62,14 +62,17 @@ func AblationMicroSLO(q Quality) []MicroSLOCell {
 				Warmup: q.warmup(), Duration: q.duration(),
 			},
 		})
+	}
+	for _, idle := range []string{"disable", "menu", "c6only"} {
+		add("performance", idle)
+	}
+	add("nmap-sleep", "c6only")
+	var out []MicroSLOCell
+	for i, res := range mustRunSpecs(specs) {
 		out = append(out, MicroSLOCell{
-			Policy: policy, Idle: idle,
+			Policy: specs[i].Policy, Idle: specs[i].Idle,
 			P99: res.Summary.P99, Violated: res.Violated, EnergyJ: res.EnergyJ,
 		})
 	}
-	for _, idle := range []string{"disable", "menu", "c6only"} {
-		run("performance", idle)
-	}
-	run("nmap-sleep", "c6only")
 	return out
 }

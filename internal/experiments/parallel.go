@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nmapsim/internal/server"
+)
+
+// The harness fans independent simulation cells out over a bounded worker
+// pool. Every cell owns its engine and seeded PRNG, and results are
+// collected by index, so the output is byte-for-byte identical to a
+// serial run regardless of the worker count (see docs/MODEL.md,
+// "Performance & determinism").
+
+var (
+	parMu sync.RWMutex
+	// par is the configured fan-out; 0 means "one worker per CPU"
+	// (runtime.GOMAXPROCS(0)), resolved at use time.
+	par int
+)
+
+// SetParallelism bounds the harness worker pool to n simulation cells in
+// flight at once. n <= 0 restores the default, one worker per CPU. Safe
+// to call concurrently with running sweeps; in-flight sweeps keep the
+// fan-out they started with.
+func SetParallelism(n int) {
+	parMu.Lock()
+	if n < 0 {
+		n = 0
+	}
+	par = n
+	parMu.Unlock()
+}
+
+// Parallelism returns the effective worker-pool size.
+func Parallelism() int {
+	parMu.RLock()
+	n := par
+	parMu.RUnlock()
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// forEach runs fn(0) … fn(n-1) on the worker pool and returns when all
+// calls have finished. Callers write results into index i of a pre-sized
+// slice, which preserves the deterministic serial order. A panic in any
+// fn is re-raised on the calling goroutine once the pool has drained,
+// matching the serial behaviour of MustRun.
+func forEach(n int, fn func(i int)) {
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// RunSpecs runs every spec on the worker pool and returns the results in
+// input order. The first assembly error (unknown policy or idle name)
+// aborts the sweep; cells already in flight still finish.
+func RunSpecs(specs []Spec) ([]server.Result, error) {
+	results := make([]server.Result, len(specs))
+	errs := make([]error, len(specs))
+	forEach(len(specs), func(i int) {
+		results[i], errs[i] = Run(specs[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// mustRunSpecs is RunSpecs for fixed, known-good specs.
+func mustRunSpecs(specs []Spec) []server.Result {
+	results, err := RunSpecs(specs)
+	if err != nil {
+		panic(err)
+	}
+	return results
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"nmapsim/internal/server"
+	"nmapsim/internal/sim"
+	"nmapsim/internal/workload"
+)
+
+// quickCfg is a short memcached run: long enough to exercise bursts,
+// short enough to keep the determinism matrix fast.
+func quickCfg() server.Config {
+	return server.Config{
+		Seed:     42,
+		Profile:  workload.Memcached(),
+		Level:    workload.Low,
+		Warmup:   50 * sim.Millisecond,
+		Duration: 150 * sim.Millisecond,
+	}
+}
+
+// withParallelism runs f with the harness fan-out pinned to n, restoring
+// the default afterwards.
+func withParallelism(t *testing.T, n int, f func()) {
+	t.Helper()
+	SetParallelism(n)
+	defer SetParallelism(0)
+	f()
+}
+
+func encode(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRunMatrixParallelDeterminism is the harness contract: the matrix
+// fan-out must be byte-for-byte identical to the serial run — same cell
+// order, same results — for any worker count. Every cell owns its engine
+// and PRNG, so parallelism cannot leak into the physics.
+func TestRunMatrixParallelDeterminism(t *testing.T) {
+	policies := []string{"ondemand", "nmap"}
+	idles := []string{"menu"}
+
+	var serial, parallel []byte
+	withParallelism(t, 1, func() {
+		serial = encode(t, RunMatrix(policies, idles, Quick))
+	})
+	withParallelism(t, 8, func() {
+		parallel = encode(t, RunMatrix(policies, idles, Quick))
+	})
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("RunMatrix output differs between serial and 8-way parallel runs:\nserial:   %.400s\nparallel: %.400s",
+			serial, parallel)
+	}
+}
+
+// TestRunSeedsParallelDeterminism pins the seeded-aggregate path: the
+// per-seed runs land back in seed order and the mean/stdev aggregation
+// sees them in exactly the serial order.
+func TestRunSeedsParallelDeterminism(t *testing.T) {
+	spec := Spec{
+		Policy: "ondemand",
+		Idle:   "menu",
+		Cfg:    quickCfg(),
+	}
+
+	var serial, parallel []byte
+	withParallelism(t, 1, func() {
+		res, err := RunSeeds(spec, 42, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = encode(t, res)
+	})
+	withParallelism(t, 8, func() {
+		res, err := RunSeeds(spec, 42, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel = encode(t, res)
+	})
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("RunSeeds output differs between serial and 8-way parallel runs")
+	}
+}
+
+// TestRunSpecsOrderAndErrors checks ordered collection and the error
+// path: results come back in input order, and a bad spec surfaces as an
+// error rather than a panic.
+func TestRunSpecsOrderAndErrors(t *testing.T) {
+	withParallelism(t, 4, func() {
+		specs := []Spec{
+			{Policy: "performance", Idle: "menu", Cfg: quickCfg()},
+			{Policy: "ondemand", Idle: "menu", Cfg: quickCfg()},
+		}
+		results, err := RunSpecs(specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != 2 {
+			t.Fatalf("got %d results, want 2", len(results))
+		}
+		// performance pins P0 throughout, so it must burn at least as
+		// much energy as ondemand on the same workload — a cheap check
+		// that results were not collected out of order.
+		if results[0].EnergyJ <= results[1].EnergyJ {
+			t.Errorf("results look swapped: performance %.1fJ <= ondemand %.1fJ",
+				results[0].EnergyJ, results[1].EnergyJ)
+		}
+
+		if _, err := RunSpecs([]Spec{{Policy: "no-such-policy", Cfg: quickCfg()}}); err == nil {
+			t.Fatal("RunSpecs accepted an unknown policy")
+		}
+	})
+}
+
+func TestSetParallelismClamps(t *testing.T) {
+	SetParallelism(-5)
+	defer SetParallelism(0)
+	if Parallelism() < 1 {
+		t.Fatalf("Parallelism() = %d, want >= 1", Parallelism())
+	}
+}

@@ -45,18 +45,22 @@ func statOf(vals []float64) Stat {
 	return Stat{Mean: mean, Stdev: stdev, N: len(vals)}
 }
 
-// RunSeeds runs the spec with seeds base, base+1, … base+n-1 and
-// aggregates the headline metrics.
+// RunSeeds runs the spec with seeds base, base+1, … base+n-1 on the
+// harness worker pool and aggregates the headline metrics. The
+// aggregation order is the seed order, independent of the fan-out.
 func RunSeeds(spec Spec, base uint64, n int) (SeededResult, error) {
+	specs := make([]Spec, n)
+	for i := range specs {
+		specs[i] = spec
+		specs[i].Cfg.Seed = base + uint64(i)
+	}
+	runs, err := RunSpecs(specs)
+	if err != nil {
+		return SeededResult{}, err
+	}
 	var out SeededResult
 	var p99s, energies, powers, overs []float64
-	for i := 0; i < n; i++ {
-		s := spec
-		s.Cfg.Seed = base + uint64(i)
-		res, err := Run(s)
-		if err != nil {
-			return SeededResult{}, err
-		}
+	for _, res := range runs {
 		out.Runs = append(out.Runs, res)
 		p99s = append(p99s, res.Summary.P99.Millis())
 		energies = append(energies, res.EnergyJ)
@@ -91,11 +95,4 @@ func RelativeEnergy(a, b SeededResult) Stat {
 		Stdev: ratio * math.Sqrt(ra*ra+rb*rb),
 		N:     min(a.EnergyJ.N, b.EnergyJ.N),
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

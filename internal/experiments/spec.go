@@ -37,10 +37,19 @@ type Spec struct {
 }
 
 // thresholdCache memoises the §4.2 profiling per (profile, seed) so the
-// big evaluation matrices don't re-profile for every cell.
+// big evaluation matrices don't re-profile for every cell. Entries carry
+// a sync.Once so that when the parallel harness races many NMAP cells at
+// once, exactly one goroutine runs the profiling and the rest wait for
+// its result (the profiling itself is a deterministic seeded run, so any
+// winner computes the same thresholds).
+type thEntry struct {
+	once sync.Once
+	th   core.Thresholds
+}
+
 var (
 	thMu    sync.Mutex
-	thCache = map[string]core.Thresholds{}
+	thCache = map[string]*thEntry{}
 )
 
 // ProfiledThresholds runs the offline profiling of §4.2 for a workload
@@ -52,36 +61,35 @@ var (
 func ProfiledThresholds(profile *workload.Profile, seed uint64) core.Thresholds {
 	key := fmt.Sprintf("%s/%d", profile.Name, seed)
 	thMu.Lock()
-	if th, ok := thCache[key]; ok {
-		thMu.Unlock()
-		return th
+	ent, ok := thCache[key]
+	if !ok {
+		ent = &thEntry{}
+		thCache[key] = ent
 	}
 	thMu.Unlock()
 
-	cfg := server.Config{
-		Seed:     seed,
-		Profile:  profile,
-		Level:    workload.High,
-		Warmup:   0,
-		Duration: 400 * sim.Millisecond, // four bursts
-	}
-	idle, _ := governor.NewIdlePolicy("menu")
-	s := server.New(cfg, idle)
-	// Profiling runs at the SLO-setting load under the system's default
-	// governor (ondemand, as deployed before NMAP takes over): the
-	// first 100 interrupts of each burst then capture the polling
-	// intensity of a burst's early part *before* the load reaches the
-	// peak, which is exactly the boost trigger NMAP needs (§4.2).
-	s.AttachPolicy(governor.NewStack(s.Eng, s.Proc, governor.Ondemand{Model: s.Cfg.Model}, 0))
-	prof := core.NewProfiler(s.Eng)
-	s.AddListener(prof)
-	s.Run()
-	th := prof.Thresholds()
-
-	thMu.Lock()
-	thCache[key] = th
-	thMu.Unlock()
-	return th
+	ent.once.Do(func() {
+		cfg := server.Config{
+			Seed:     seed,
+			Profile:  profile,
+			Level:    workload.High,
+			Warmup:   0,
+			Duration: 400 * sim.Millisecond, // four bursts
+		}
+		idle, _ := governor.NewIdlePolicy("menu")
+		s := server.New(cfg, idle)
+		// Profiling runs at the SLO-setting load under the system's default
+		// governor (ondemand, as deployed before NMAP takes over): the
+		// first 100 interrupts of each burst then capture the polling
+		// intensity of a burst's early part *before* the load reaches the
+		// peak, which is exactly the boost trigger NMAP needs (§4.2).
+		s.AttachPolicy(governor.NewStack(s.Eng, s.Proc, governor.Ondemand{Model: s.Cfg.Model}, 0))
+		prof := core.NewProfiler(s.Eng)
+		s.AddListener(prof)
+		s.Run()
+		ent.th = prof.Thresholds()
+	})
+	return ent.th
 }
 
 // Build assembles the server and its policy without running it, so

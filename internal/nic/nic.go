@@ -72,7 +72,7 @@ type queue struct {
 	txPending  int // Tx completions awaiting softirq cleaning
 	irqEnabled bool
 	nextIRQ    sim.Time // earliest instant ITR allows the next interrupt
-	irqTimer   *sim.Event
+	irqTimer   sim.Event
 	drops      uint64
 	interrupts uint64
 }
@@ -149,17 +149,13 @@ func (n *NIC) maybeInterrupt(q int) {
 		qu.irqEnabled = false // NAPI: the handler masks further IRQs
 		qu.nextIRQ = now + sim.Time(n.cfg.ITR)
 		qu.interrupts++
-		if qu.irqTimer != nil {
-			qu.irqTimer.Cancel()
-			qu.irqTimer = nil
-		}
+		qu.irqTimer.Cancel()
 		h := n.handler[q]
 		n.eng.Schedule(n.cfg.IRQLatency, h)
 		return
 	}
-	if qu.irqTimer == nil {
+	if !qu.irqTimer.Pending() {
 		qu.irqTimer = n.eng.At(qu.nextIRQ, func() {
-			qu.irqTimer = nil
 			n.maybeInterrupt(q)
 		})
 	}
@@ -191,10 +187,7 @@ func (n *NIC) EnableIRQ(q int) {
 // DisableIRQ masks interrupts on queue q.
 func (n *NIC) DisableIRQ(q int) {
 	n.qs[q].irqEnabled = false
-	if t := n.qs[q].irqTimer; t != nil {
-		t.Cancel()
-		n.qs[q].irqTimer = nil
-	}
+	n.qs[q].irqTimer.Cancel()
 }
 
 // Transmit sends a response of the given number of MTU segments back to

@@ -6,10 +6,17 @@
 // order they were scheduled (a monotonically increasing sequence number
 // breaks ties), which makes every experiment byte-for-byte reproducible
 // for a fixed PRNG seed.
+//
+// The hot path is allocation-free in steady state: event records are
+// recycled through a per-engine free list when they fire or are
+// cancelled, and the priority queue is a hand-inlined binary heap over
+// concrete *event pointers (no interface boxing, no container/heap
+// dispatch). Cancellation removes the event from the heap eagerly in
+// O(log n) using its stored index, so Pending() counts live events only
+// and cancelled closures are released immediately.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -62,69 +69,72 @@ func (d Duration) String() string {
 	return fmt.Sprintf("%dns", int64(d))
 }
 
-// Event is a handle to a scheduled callback. It can be cancelled before it
-// fires; cancellation is O(1) (lazy deletion from the heap).
-type Event struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	idx      int // position in the heap, -1 once popped
-	canceled bool
+// event is the pooled internal record of one scheduled callback. Records
+// live in the engine's heap while pending and on its free list otherwise;
+// gen is bumped on every recycle so stale handles can never reach a
+// record that has been reused for a different callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+	idx int32  // position in the heap, -1 when not queued
+	gen uint32 // recycle generation; handles carry the value at issue time
 }
 
-// At reports the instant the event will fire (or would have fired).
-func (e *Event) At() Time { return e.at }
+// Event is a handle to a scheduled callback, returned by Schedule and At.
+// It is a small value (copy freely); the zero Event behaves like a handle
+// to an event that has already fired. Cancellation is O(log n) and takes
+// effect immediately: the event leaves the queue and its closure is
+// released. A handle goes stale as soon as its event fires or is
+// cancelled — operations on a stale handle are safe no-ops even though
+// the engine recycles the underlying record for later events.
+type Event struct {
+	eng *Engine
+	ev  *event
+	gen uint32
+}
 
-// Cancel prevents the event from firing. Cancelling an event that already
-// fired or was already cancelled is a no-op. It reports whether the event
-// was still pending.
-func (e *Event) Cancel() bool {
-	if e == nil || e.canceled || e.idx == -2 {
+// live reports whether the handle still refers to the event it was issued
+// for and that event is still queued.
+func (h Event) live() bool {
+	return h.ev != nil && h.ev.gen == h.gen
+}
+
+// Pending reports whether the event is still queued (it has neither fired
+// nor been cancelled).
+func (h Event) Pending() bool { return h.live() }
+
+// At reports the instant the event will fire. It returns 0 once the event
+// has fired or been cancelled.
+func (h Event) At() Time {
+	if !h.live() {
+		return 0
+	}
+	return h.ev.at
+}
+
+// Cancel removes the event from the queue so it will not fire. Cancelling
+// an event that already fired or was already cancelled is a no-op. It
+// reports whether the event was still pending.
+func (h Event) Cancel() bool {
+	if !h.live() {
 		return false
 	}
-	e.canceled = true
+	e := h.eng
+	e.removeAt(int(h.ev.idx))
+	e.recycle(h.ev)
 	return true
-}
-
-// Canceled reports whether Cancel was called before the event fired.
-func (e *Event) Canceled() bool { return e.canceled }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -2
-	*h = old[:n-1]
-	return e
 }
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; all model code runs inside event callbacks on the
-// goroutine that calls Run.
+// goroutine that calls Run. Independent engines are fully isolated, so
+// harnesses may run one engine per goroutine.
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	heap    []*event
+	free    []*event
 	stopped bool
 	// fired counts events dispatched since construction; useful for
 	// harness-level progress accounting and benchmarks.
@@ -142,14 +152,116 @@ func (e *Engine) Now() Time { return e.now }
 // Fired returns the number of events dispatched so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events still queued (including events that
-// were cancelled but not yet reaped).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of live events still queued. Cancelled
+// events are removed eagerly and never counted.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// alloc takes an event record off the free list, or mints one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{idx: -1}
+}
+
+// recycle returns a record to the free list. Bumping gen invalidates
+// every handle issued for the record's previous life; dropping fn
+// releases the callback's captures promptly.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.idx = -1
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
+// less orders the heap by (at, seq): earliest deadline first, FIFO within
+// an instant.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends ev and restores the heap property.
+func (e *Engine) push(ev *event) {
+	ev.idx = int32(len(e.heap))
+	e.heap = append(e.heap, ev)
+	e.siftUp(int(ev.idx))
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].idx = int32(i)
+		i = parent
+	}
+	h[i] = ev
+	ev.idx = int32(i)
+}
+
+// siftDown restores the heap property below i and reports whether the
+// element moved.
+func (e *Engine) siftDown(i int) bool {
+	h := e.heap
+	n := len(h)
+	ev := h[i]
+	start := i
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && less(h[r], h[l]) {
+			m = r
+		}
+		if !less(h[m], ev) {
+			break
+		}
+		h[i] = h[m]
+		h[i].idx = int32(i)
+		i = m
+	}
+	h[i] = ev
+	ev.idx = int32(i)
+	return i != start
+}
+
+// removeAt unlinks the event at heap index i in O(log n) and returns it
+// with idx set to -1. The record is NOT recycled; the caller decides.
+func (e *Engine) removeAt(i int) *event {
+	h := e.heap
+	n := len(h) - 1
+	ev := h[i]
+	if i != n {
+		h[i] = h[n]
+		h[i].idx = int32(i)
+	}
+	h[n] = nil
+	e.heap = h[:n]
+	if i < n {
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	}
+	ev.idx = -1
+	return ev
+}
 
 // Schedule queues fn to run after delay. A negative delay is treated as
 // zero (fires at the current instant, after already-queued events for that
 // instant). It returns a cancellable handle.
-func (e *Engine) Schedule(delay Duration, fn func()) *Event {
+func (e *Engine) Schedule(delay Duration, fn func()) Event {
 	if delay < 0 {
 		delay = 0
 	}
@@ -158,18 +270,33 @@ func (e *Engine) Schedule(delay Duration, fn func()) *Event {
 
 // At queues fn to run at the absolute instant t. Scheduling in the past is
 // clamped to the current instant.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.push(ev)
+	return Event{eng: e, ev: ev, gen: ev.gen}
 }
 
 // Stop aborts Run after the currently executing event returns.
 func (e *Engine) Stop() { e.stopped = true }
+
+// fire pops the minimum event, advances the clock, recycles the record
+// (so the callback may immediately reuse it via Schedule) and runs the
+// callback.
+func (e *Engine) fire() {
+	next := e.removeAt(0)
+	e.now = next.at
+	e.fired++
+	fn := next.fn
+	e.recycle(next)
+	fn()
+}
 
 // Run dispatches events in timestamp order until the queue is empty, the
 // horizon is reached, or Stop is called. The clock is left at the horizon
@@ -177,18 +304,11 @@ func (e *Engine) Stop() { e.stopped = true }
 // exactly at the horizon do fire.
 func (e *Engine) Run(until Time) {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.at > until {
+	for len(e.heap) > 0 && !e.stopped {
+		if e.heap[0].at > until {
 			break
 		}
-		heap.Pop(&e.queue)
-		if next.canceled {
-			continue
-		}
-		e.now = next.at
-		e.fired++
-		next.fn()
+		e.fire()
 	}
 	if !e.stopped && e.now < until {
 		e.now = until
@@ -198,14 +318,8 @@ func (e *Engine) Run(until Time) {
 // RunAll dispatches events until the queue drains or Stop is called.
 func (e *Engine) RunAll() {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		next := heap.Pop(&e.queue).(*Event)
-		if next.canceled {
-			continue
-		}
-		e.now = next.at
-		e.fired++
-		next.fn()
+	for len(e.heap) > 0 && !e.stopped {
+		e.fire()
 	}
 }
 
@@ -215,7 +329,7 @@ func (e *Engine) Ticker(period Duration, fn func()) (stop func()) {
 	if period <= 0 {
 		panic("sim: non-positive ticker period")
 	}
-	var ev *Event
+	var ev Event
 	stopped := false
 	var tick func()
 	tick = func() {

@@ -303,3 +303,169 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 		e.RunAll()
 	}
 }
+
+func TestEngineCancelEagerlyReaps(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(10, func() { got = append(got, 1) })
+	ev := e.Schedule(20, func() { got = append(got, 2) })
+	e.Schedule(30, func() { got = append(got, 3) })
+	if e.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", e.Pending())
+	}
+	if !ev.Cancel() {
+		t.Fatal("Cancel on pending event returned false")
+	}
+	// Eager reaping: the cancelled event leaves the queue immediately,
+	// before any event fires.
+	if e.Pending() != 2 {
+		t.Fatalf("Pending after Cancel = %d, want 2 (eager removal)", e.Pending())
+	}
+	if ev.Pending() {
+		t.Fatal("cancelled handle still reports Pending")
+	}
+	e.RunAll()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("events after cancel: %v, want [1 3]", got)
+	}
+}
+
+func TestEngineCancelReleasesClosure(t *testing.T) {
+	// A long sweep that cancels timers must not hold their closures (and
+	// whatever they capture) live until the original deadline: after
+	// Cancel the record is recycled and its fn cleared.
+	e := NewEngine()
+	ev := e.Schedule(1_000_000, func() {})
+	rec := ev.ev // white-box: the pooled record
+	ev.Cancel()
+	if rec.fn != nil {
+		t.Fatal("cancelled event still holds its closure")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after cancelling the only event", e.Pending())
+	}
+}
+
+func TestEventPoolReuseNoAliasing(t *testing.T) {
+	e := NewEngine()
+
+	// Case 1: stale handle from a cancelled event.
+	ev1 := e.Schedule(10, func() { t.Error("cancelled event fired") })
+	ev1.Cancel()
+	fired := false
+	ev2 := e.Schedule(20, func() { fired = true })
+	if ev1.ev != ev2.ev {
+		t.Fatal("free list did not recycle the cancelled record (white-box expectation)")
+	}
+	if ev1.Cancel() {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+	if !ev2.Pending() {
+		t.Fatal("live event lost by stale Cancel")
+	}
+	e.RunAll()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+
+	// Case 2: stale handle from a fired event.
+	ev3 := e.Schedule(5, func() {})
+	e.RunAll()
+	fired = false
+	ev4 := e.Schedule(5, func() { fired = true })
+	if ev3.ev != ev4.ev {
+		t.Fatal("free list did not recycle the fired record (white-box expectation)")
+	}
+	if ev3.Cancel() {
+		t.Fatal("stale handle (fired event) cancelled a recycled event")
+	}
+	if ev3.Pending() {
+		t.Fatal("stale handle reports Pending")
+	}
+	if ev3.At() != 0 {
+		t.Fatalf("stale handle At() = %v, want 0", ev3.At())
+	}
+	e.RunAll()
+	if !fired {
+		t.Fatal("recycled event did not fire after stale Cancel attempt")
+	}
+}
+
+// Property: ordering and completeness hold under arbitrary interleaved
+// cancellations — every non-cancelled event fires exactly once, in
+// nondecreasing time order, and cancelled ones never fire.
+func TestEngineCancelProperty(t *testing.T) {
+	f := func(delays []uint16, cancelMask []bool) bool {
+		e := NewEngine()
+		type sched struct {
+			ev     Event
+			cancel bool
+			fired  bool
+		}
+		items := make([]*sched, len(delays))
+		for i, d := range delays {
+			it := &sched{}
+			it.cancel = i < len(cancelMask) && cancelMask[i]
+			it.ev = e.Schedule(Duration(d), func() { it.fired = true })
+			items[i] = it
+		}
+		live := 0
+		for _, it := range items {
+			if it.cancel {
+				it.ev.Cancel()
+			} else {
+				live++
+			}
+		}
+		if e.Pending() != live {
+			return false
+		}
+		e.RunAll()
+		for _, it := range items {
+			if it.fired == it.cancel {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkEngineScheduleFire measures the steady-state schedule+fire
+// round trip. With the free-list pool warm it must not allocate.
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm the pool and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		e.Schedule(Duration(i%7), fn)
+	}
+	e.RunAll()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Duration(i%97), fn)
+		e.RunAll()
+	}
+}
+
+// BenchmarkEngineCancel measures the schedule+cancel round trip (eager
+// O(log n) heap removal) against a backlog of pending events.
+func BenchmarkEngineCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	// A standing backlog so removal exercises real sift work.
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Duration(1000+i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(Duration(i%997), fn)
+		if !ev.Cancel() {
+			b.Fatal("cancel failed")
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"testing"
+
+	"nmapsim/internal/sim"
+)
+
+// BenchmarkHistPercentile measures the percentile query path the harness
+// hits once per run (Summarize asks for five quantiles plus Max). The
+// histogram is pre-sorted on the first query; steady-state queries are
+// pure index math.
+func BenchmarkHistPercentile(b *testing.B) {
+	h := NewHist(100_000)
+	r := sim.NewRNG(42)
+	for i := 0; i < 100_000; i++ {
+		h.Add(sim.Duration(r.Exp(500_000)))
+	}
+	h.P(0.5) // pay the one-time sort outside the loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h.P(0.99) == 0 {
+			b.Fatal("empty percentile")
+		}
+	}
+}
+
+// BenchmarkHistSummarize includes the lazy sort amortised over fresh
+// histograms, the shape of the per-run Collect cost.
+func BenchmarkHistSummarize(b *testing.B) {
+	r := sim.NewRNG(42)
+	samples := make([]sim.Duration, 50_000)
+	for i := range samples {
+		samples[i] = sim.Duration(r.Exp(500_000))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := NewHist(len(samples))
+		for _, s := range samples {
+			h.Add(s)
+		}
+		b.StartTimer()
+		if h.Summarize().N != len(samples) {
+			b.Fatal("bad summary")
+		}
+	}
+}
