@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench clean
+.PHONY: ci vet build test race bench bench-compare clean
 
-ci: vet build race bench
+ci: vet build race bench-compare bench
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,14 @@ race:
 bench:
 	$(GO) run ./cmd/nmapbench -o BENCH_sim.json
 	@cat BENCH_sim.json
+
+# Diff the fast benchmarks (engine micro + end-to-end allocs/request)
+# against the committed baseline; fails on >20% ns/op or any allocs/op
+# regression. Non-fatal in `make ci` (leading '-') because wall-clock
+# numbers recorded on a different host are advisory, but the failure
+# still prints for the reviewer.
+bench-compare:
+	-$(GO) run ./cmd/nmapbench -compare BENCH_sim.json
 
 clean:
 	$(GO) clean ./...

@@ -1,13 +1,22 @@
 // Command nmapbench records the performance baseline the CI tracks: the
 // DES engine microbenchmarks (ns/op and allocs/op for the steady-state
-// schedule/fire and cancel paths, plus the histogram percentile query)
-// and the wall-clock of the Fig 12/13 quick-quality matrix run serially
-// and with the parallel harness. Results are written as JSON (default
+// schedule/fire and cancel paths, plus the histogram percentile query),
+// an end-to-end throughput probe (simulated seconds per wall-clock
+// second and allocations per request on a warmed server), and the
+// wall-clock of the Fig 12/13 quick-quality matrix run serially and
+// with the parallel harness. Results are written as JSON (default
 // BENCH_sim.json) so successive PRs can diff them.
 //
 // Usage:
 //
-//	nmapbench [-o FILE] [-parallel N]
+//	nmapbench [-o FILE] [-parallel N] [-cpuprofile FILE] [-memprofile FILE]
+//	nmapbench -compare FILE
+//
+// With -compare, instead of recording a new baseline the fast
+// benchmarks (engine micro + end-to-end probe) are re-run and checked
+// against the committed FILE: any ns/op regression beyond 20%, or any
+// allocs/op increase at all, exits non-zero. The slow Fig 12 matrix
+// timing is skipped in this mode.
 package main
 
 import (
@@ -16,10 +25,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
 	"nmapsim/internal/experiments"
+	"nmapsim/internal/server"
 	"nmapsim/internal/sim"
 	"nmapsim/internal/stats"
 	"nmapsim/internal/workload"
@@ -36,6 +47,7 @@ type baseline struct {
 	GOARCH     string                 `json:"goarch"`
 	GOMAXPROCS int                    `json:"gomaxprocs"`
 	Engine     map[string]benchResult `json:"engine"`
+	EndToEnd   endToEnd               `json:"end_to_end"`
 	Fig12Quick fig12Times             `json:"fig12_quick"`
 }
 
@@ -44,6 +56,21 @@ type fig12Times struct {
 	ParallelMs float64 `json:"parallel_ms"`
 	Workers    int     `json:"parallel_workers"`
 	Speedup    float64 `json:"speedup"`
+	// Note explains why a field is absent or not comparable (for
+	// example: the parallel timing and speedup are skipped when only
+	// one worker is available, where "speedup" would only measure
+	// harness overhead against a stale serial number).
+	Note string `json:"note,omitempty"`
+}
+
+// endToEnd is the whole-simulator throughput probe: a warmed memcached
+// server driven for a fixed span of simulated time.
+type endToEnd struct {
+	SimSeconds       float64 `json:"sim_seconds"`
+	WallMs           float64 `json:"wall_ms"`
+	SimPerWallSecond float64 `json:"sim_seconds_per_wall_second"`
+	Requests         uint64  `json:"requests"`
+	AllocsPerRequest float64 `json:"allocs_per_request"`
 }
 
 func toResult(r testing.BenchmarkResult) benchResult {
@@ -51,6 +78,28 @@ func toResult(r testing.BenchmarkResult) benchResult {
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// bestOf runs a microbenchmark several times and keeps the fastest
+// ns/op (allocs are deterministic, so any run's count is canonical).
+// Single 1-second samples of a ~5 ns operation swing ±30% on a shared
+// host, which would make the 20% regression gate fire on noise.
+func bestOf(n int, bench func() testing.BenchmarkResult) benchResult {
+	best := toResult(bench())
+	for i := 1; i < n; i++ {
+		if r := toResult(bench()); r.NsPerOp < best.NsPerOp {
+			best = r
+		}
+	}
+	return best
+}
+
+func engineBenches() map[string]benchResult {
+	return map[string]benchResult{
+		"EngineScheduleFire": bestOf(3, benchScheduleFire),
+		"EngineCancel":       bestOf(3, benchCancel),
+		"HistPercentile":     bestOf(3, benchHistPercentile),
 	}
 }
 
@@ -111,6 +160,52 @@ func benchHistPercentile() testing.BenchmarkResult {
 	})
 }
 
+// measureEndToEnd warms a representative server (same configuration as
+// the allocation regression test in internal/server) and then drives it
+// for a fixed span of simulated time, reporting wall-clock throughput
+// and the malloc count per completed request. On a healthy build the
+// steady-state path is allocation-free, so allocs/request is ~0.
+func measureEndToEnd() endToEnd {
+	cfg := server.Config{
+		Seed:     9,
+		Profile:  workload.Memcached(),
+		Level:    workload.Low,
+		Warmup:   100 * sim.Millisecond,
+		Duration: 200 * sim.Millisecond,
+	}
+	s := server.New(cfg, nil)
+	s.Run() // warm every pool and high-water mark
+	var before uint64
+	for _, k := range s.Kernels {
+		before += k.Counters().Completed
+	}
+	const span = 2 * sim.Second
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	s.Eng.Run(s.Eng.Now() + sim.Time(span))
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	var after uint64
+	for _, k := range s.Kernels {
+		after += k.Counters().Completed
+	}
+	reqs := after - before
+	e := endToEnd{
+		SimSeconds: float64(span) / float64(sim.Second),
+		WallMs:     float64(wall.Microseconds()) / 1000,
+		Requests:   reqs,
+	}
+	if wall > 0 {
+		e.SimPerWallSecond = e.SimSeconds / wall.Seconds()
+	}
+	if reqs > 0 {
+		e.AllocsPerRequest = float64(m1.Mallocs-m0.Mallocs) / float64(reqs)
+	}
+	return e
+}
+
 func timeFig12(workers int) time.Duration {
 	experiments.SetParallelism(workers)
 	defer experiments.SetParallelism(0)
@@ -122,11 +217,99 @@ func timeFig12(workers int) time.Duration {
 	return time.Since(start)
 }
 
+// compareBaselines checks fresh fast-bench numbers against a committed
+// baseline. Returns a list of human-readable regressions (empty = pass).
+func compareBaselines(old, cur baseline) []string {
+	const nsTolerance = 1.20 // >20% slower is a regression
+	var bad []string
+	for name, prev := range old.Engine {
+		now, ok := cur.Engine[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: missing from current run", name))
+			continue
+		}
+		if prev.NsPerOp > 0 && now.NsPerOp > prev.NsPerOp*nsTolerance {
+			bad = append(bad, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (+%.0f%%, limit +20%%)",
+				name, now.NsPerOp, prev.NsPerOp, (now.NsPerOp/prev.NsPerOp-1)*100))
+		}
+		if now.AllocsPerOp > prev.AllocsPerOp {
+			bad = append(bad, fmt.Sprintf("%s: %d allocs/op vs baseline %d (any increase fails)",
+				name, now.AllocsPerOp, prev.AllocsPerOp))
+		}
+	}
+	if old.EndToEnd.Requests > 0 {
+		if cur.EndToEnd.AllocsPerRequest > old.EndToEnd.AllocsPerRequest+0.01 {
+			bad = append(bad, fmt.Sprintf("end_to_end: %.4f allocs/request vs baseline %.4f (any increase fails)",
+				cur.EndToEnd.AllocsPerRequest, old.EndToEnd.AllocsPerRequest))
+		}
+	}
+	return bad
+}
+
+func runCompare(file string) {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nmapbench: %v\n", err)
+		os.Exit(1)
+	}
+	var old baseline
+	if err := json.Unmarshal(raw, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "nmapbench: parsing %s: %v\n", file, err)
+		os.Exit(1)
+	}
+	cur := baseline{
+		Engine:   engineBenches(),
+		EndToEnd: measureEndToEnd(),
+	}
+	for name, now := range cur.Engine {
+		prev := old.Engine[name]
+		fmt.Printf("%-20s %8.1f ns/op (baseline %8.1f)  %d allocs/op (baseline %d)\n",
+			name, now.NsPerOp, prev.NsPerOp, now.AllocsPerOp, prev.AllocsPerOp)
+	}
+	fmt.Printf("%-20s %.4f allocs/request (baseline %.4f), %.1f sim-s/wall-s\n",
+		"end_to_end", cur.EndToEnd.AllocsPerRequest, old.EndToEnd.AllocsPerRequest,
+		cur.EndToEnd.SimPerWallSecond)
+	if bad := compareBaselines(old, cur); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "nmapbench: %d regression(s) vs %s:\n", len(bad), file)
+		for _, b := range bad {
+			fmt.Fprintf(os.Stderr, "  FAIL %s\n", b)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("PASS: no regressions vs %s\n", file)
+}
+
 func main() {
 	out := flag.String("o", "BENCH_sim.json", "output file")
 	parallel := flag.Int("parallel", 0,
 		"worker count for the parallel Fig12 timing (0 = one per CPU)")
+	compare := flag.String("compare", "",
+		"compare fast benchmarks against a committed baseline FILE and exit non-zero on regression")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to FILE")
+	memprofile := flag.String("memprofile", "", "write a heap (allocs) profile to FILE")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nmapbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "nmapbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer writeMemProfile(*memprofile)
+
+	if *compare != "" {
+		runCompare(*compare)
+		return
+	}
 
 	workers := *parallel
 	if workers <= 0 {
@@ -143,20 +326,24 @@ func main() {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Engine: map[string]benchResult{
-			"EngineScheduleFire": toResult(benchScheduleFire()),
-			"EngineCancel":       toResult(benchCancel()),
-			"HistPercentile":     toResult(benchHistPercentile()),
-		},
+		Engine:     engineBenches(),
+		EndToEnd:   measureEndToEnd(),
 	}
 
 	serial := timeFig12(1)
-	par := timeFig12(workers)
 	b.Fig12Quick = fig12Times{
-		SerialMs:   float64(serial.Microseconds()) / 1000,
-		ParallelMs: float64(par.Microseconds()) / 1000,
-		Workers:    workers,
-		Speedup:    float64(serial) / float64(par),
+		SerialMs: float64(serial.Microseconds()) / 1000,
+		Workers:  workers,
+	}
+	if workers > 1 {
+		par := timeFig12(workers)
+		b.Fig12Quick.ParallelMs = float64(par.Microseconds()) / 1000
+		b.Fig12Quick.Speedup = float64(serial) / float64(par)
+	} else {
+		// With a single worker the "parallel" run is the serial run plus
+		// harness overhead; recording a speedup would just compare two
+		// noisy serial timings, so skip it.
+		b.Fig12Quick.Note = "single worker: parallel timing and speedup skipped"
 	}
 
 	f, err := os.Create(*out)
@@ -175,6 +362,30 @@ func main() {
 		b.Engine["EngineScheduleFire"].NsPerOp, b.Engine["EngineScheduleFire"].AllocsPerOp,
 		b.Engine["EngineCancel"].NsPerOp, b.Engine["EngineCancel"].AllocsPerOp,
 		b.Engine["HistPercentile"].NsPerOp)
-	fmt.Printf("fig12 quick: serial %.0fms, parallel(%d) %.0fms, speedup %.2fx\n",
-		b.Fig12Quick.SerialMs, b.Fig12Quick.Workers, b.Fig12Quick.ParallelMs, b.Fig12Quick.Speedup)
+	fmt.Printf("end-to-end: %.1f sim-s/wall-s, %.4f allocs/request over %d requests\n",
+		b.EndToEnd.SimPerWallSecond, b.EndToEnd.AllocsPerRequest, b.EndToEnd.Requests)
+	if workers > 1 {
+		fmt.Printf("fig12 quick: serial %.0fms, parallel(%d) %.0fms, speedup %.2fx\n",
+			b.Fig12Quick.SerialMs, b.Fig12Quick.Workers, b.Fig12Quick.ParallelMs, b.Fig12Quick.Speedup)
+	} else {
+		fmt.Printf("fig12 quick: serial %.0fms (%s)\n", b.Fig12Quick.SerialMs, b.Fig12Quick.Note)
+	}
+}
+
+// writeMemProfile snapshots the allocs profile at exit. Runs via defer
+// so it captures the full run, whichever mode was selected.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nmapbench: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "nmapbench: %v\n", err)
+	}
 }

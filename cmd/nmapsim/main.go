@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	nmapsim [-quick] <experiment>
+//	nmapsim [-quick] [-cpuprofile FILE] [-memprofile FILE] <experiment>
 //	nmapsim -list
 //
 // Experiments: fig2 fig3 fig4 fig7 fig8 fig9 fig10 fig11 fig12 fig13
@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"nmapsim/internal/experiments"
 )
@@ -24,6 +26,8 @@ var quick = flag.Bool("quick", false, "use short measurement windows (smoke-test
 var list = flag.Bool("list", false, "list available experiments")
 var parallel = flag.Int("parallel", 0,
 	"simulation cells in flight at once (0 = one per CPU, 1 = serial)")
+var cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to FILE")
+var memprofile = flag.String("memprofile", "", "write a heap (allocs) profile at exit to FILE")
 
 type experiment struct {
 	name, desc string
@@ -127,6 +131,22 @@ func runFig1415(q experiments.Quality) {
 
 func main() {
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nmapsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "nmapsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer writeMemProfile(*memprofile)
 	experiments.SetParallelism(*parallel)
 	if *list || flag.NArg() == 0 {
 		fmt.Println("available experiments:")
@@ -161,4 +181,22 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "nmapsim: unknown experiment %q (try -list)\n", name)
 	os.Exit(2)
+}
+
+// writeMemProfile snapshots the allocs profile at exit (deferred from
+// main, so every normal completion path is covered).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nmapsim: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "nmapsim: %v\n", err)
+	}
 }

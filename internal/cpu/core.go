@@ -38,7 +38,9 @@ func (x *Exec) Remaining() float64 {
 }
 
 // Cancel preempts the execution, returning the cycles that had not yet
-// been executed. The completion callback will not run.
+// been executed. The completion callback will not run. The record goes
+// back to the core's free slot, so the caller must drop its *Exec
+// immediately (as the kernel's preemption path does).
 func (x *Exec) Cancel() float64 {
 	if x.finished {
 		return 0
@@ -49,7 +51,24 @@ func (x *Exec) Cancel() float64 {
 	x.core.settle()
 	x.core.busy = false
 	x.core.active = nil
+	x.core.putExec(x)
 	return rem
+}
+
+// execFire is the completion callback for every Exec, scheduled through
+// ScheduleArg with the record itself as the argument — no per-execution
+// closure is ever allocated.
+func execFire(a any) {
+	x := a.(*Exec)
+	x.finished = true
+	x.core.active = nil
+	x.core.settle()
+	x.core.busy = false
+	done := x.done
+	c := x.core
+	x.done = nil
+	defer c.putExec(x)
+	done()
 }
 
 func (x *Exec) schedule() {
@@ -59,11 +78,7 @@ func (x *Exec) schedule() {
 		dur = 1
 	}
 	x.since = x.core.eng.Now()
-	x.ev = x.core.eng.Schedule(dur, func() {
-		x.finished = true
-		x.core.active = nil
-		x.done()
-	})
+	x.ev = x.core.eng.ScheduleArg(dur, execFire, x)
 }
 
 // reprice is called when the core frequency changes: bank the progress
@@ -98,6 +113,7 @@ type Core struct {
 	cstate      CState
 	busy        bool
 	active      *Exec
+	xfree       []*Exec      // spare Exec records (see getExec)
 	wakePenalty sim.Duration // CC6 cache-refill debt charged to next Exec
 	wakingUntil sim.Time     // end of the in-flight C-state exit (power accounting)
 
@@ -275,21 +291,37 @@ func (c *Core) StartExec(cycles float64, done func()) *Exec {
 	}
 	c.settle()
 	c.busy = true
-	x := &Exec{
-		core:      c,
-		remaining: cycles,
-		done: func() {
-			c.settle()
-			c.busy = false
-			done()
-		},
-		freq:    c.FreqGHz(),
-		penalty: c.wakePenalty,
-	}
+	x := c.getExec()
+	x.remaining = cycles
+	x.done = done
+	x.freq = c.FreqGHz()
+	x.penalty = c.wakePenalty
 	c.wakePenalty = 0
 	c.active = x
 	x.schedule()
 	return x
+}
+
+// getExec takes a spare Exec record off the core's free list, or mints
+// one. A core has at most one execution in flight, but a completion
+// callback usually starts the next execution before the fired record is
+// parked, so the list settles at two records per core.
+func (c *Core) getExec() *Exec {
+	if n := len(c.xfree); n > 0 {
+		x := c.xfree[n-1]
+		c.xfree[n-1] = nil
+		c.xfree = c.xfree[:n-1]
+		x.finished = false
+		x.ev = sim.Event{}
+		return x
+	}
+	return &Exec{core: c}
+}
+
+// putExec parks a finished or cancelled record for reuse.
+func (c *Core) putExec(x *Exec) {
+	x.done = nil
+	c.xfree = append(c.xfree, x)
 }
 
 // Idle marks the core idle in CC0 (no Exec in flight, clock running).

@@ -23,6 +23,7 @@ import (
 	"nmapsim/internal/cpu"
 	"nmapsim/internal/nic"
 	"nmapsim/internal/sim"
+	"nmapsim/internal/workload"
 )
 
 // Mode tags how a batch of packets was processed (Fig 2's stacked bars).
@@ -179,11 +180,12 @@ type CoreKernel struct {
 	cfg  Config
 
 	// AppCycles returns the application service cost (cycles) for one
-	// request payload. Set by the server assembly before the run.
-	AppCycles func(payload any) float64
+	// request. Set by the server assembly before the run. The typed
+	// signature (no `any` boxing) is part of the allocation-free path.
+	AppCycles func(r *workload.Request) float64
 	// OnAppComplete fires when the app thread finishes a request; the
 	// server assembly transmits the response from here.
-	OnAppComplete func(payload any)
+	OnAppComplete func(r *workload.Request)
 
 	idlePol   IdlePolicy
 	listeners []NAPIListener
@@ -207,11 +209,22 @@ type CoreKernel struct {
 	// Saved batch when an app execution resumes after preemption (only
 	// the app is preemptible: IRQs stay masked during NAPI processing).
 	appRem float64
-	appCur any
+	appCur *workload.Request
 
-	// Pending poll batch mid-execution (survives nothing — softirq and
-	// ksoftirqd passes are not preemptible — but kept for clarity).
-	sockQ []any
+	// Socket queue between the softirq Rx path and the app thread.
+	sockQ []*workload.Request
+
+	// In-flight poll-pass state, read by the pollDone completion (one
+	// exec at a time per core, so single fields suffice).
+	pollBatch []*nic.Packet
+	pollTxn   int
+
+	// Completion callbacks bound once at construction so StartExec is
+	// never handed a fresh closure on the per-packet path.
+	hardirqDone func()
+	pollDone    func()
+	appDone     func()
+	wakeDone    func()
 
 	// Round-robin bookkeeping between ksoftirqd and the app thread.
 	lastRan execOwner
@@ -230,6 +243,10 @@ func NewCoreKernel(id int, eng *sim.Engine, core *cpu.Core, dev *nic.NIC, cfg Co
 		cfg:     cfg.withDefaults(),
 		idlePol: idle,
 	}
+	k.hardirqDone = k.onHardirqDone
+	k.pollDone = k.onPollDone
+	k.appDone = k.onAppDone
+	k.wakeDone = k.onWakeDone
 	dev.SetHandler(id, k.onInterrupt)
 	return k
 }
@@ -300,10 +317,12 @@ func (k *CoreKernel) startWake() {
 		k.idlePol.IdleEnded(k.ID, sim.Duration(k.eng.Now()-k.idleStart))
 	}
 	lat := k.core.Wake()
-	k.eng.Schedule(lat, func() {
-		k.waking = false
-		k.dispatch()
-	})
+	k.eng.Schedule(lat, k.wakeDone)
+}
+
+func (k *CoreKernel) onWakeDone() {
+	k.waking = false
+	k.dispatch()
 }
 
 // dispatch is the core's scheduler: hardirq > softirq > round-robin
@@ -373,24 +392,26 @@ func (k *CoreKernel) goIdle() {
 func (k *CoreKernel) runHardirq() {
 	k.hardirqPending = false
 	k.owner = ownerHardirq
-	k.exec = k.core.StartExec(k.cfg.IRQCycles, func() {
-		k.exec = nil
-		k.owner = ownerNone
-		k.c.Interrupts++
-		// The handler schedules NAPI: first pass counts as interrupt
-		// mode. If ksoftirqd already owns the NAPI context (IRQ was
-		// re-enabled by a race we do not model), fold into it.
-		if !k.inKsoftirqd {
-			k.napiScheduled = true
-			k.firstPass = true
-			k.softirqStart = k.eng.Now()
-			k.softirqPasses = 0
-		}
-		for _, l := range k.listeners {
-			l.InterruptArrived(k.ID)
-		}
-		k.dispatch()
-	})
+	k.exec = k.core.StartExec(k.cfg.IRQCycles, k.hardirqDone)
+}
+
+func (k *CoreKernel) onHardirqDone() {
+	k.exec = nil
+	k.owner = ownerNone
+	k.c.Interrupts++
+	// The handler schedules NAPI: first pass counts as interrupt
+	// mode. If ksoftirqd already owns the NAPI context (IRQ was
+	// re-enabled by a race we do not model), fold into it.
+	if !k.inKsoftirqd {
+		k.napiScheduled = true
+		k.firstPass = true
+		k.softirqStart = k.eng.Now()
+		k.softirqPasses = 0
+	}
+	for _, l := range k.listeners {
+		l.InterruptArrived(k.ID)
+	}
+	k.dispatch()
 }
 
 // runPollPass executes one NAPI poll pass in either softirq or ksoftirqd
@@ -409,46 +430,57 @@ func (k *CoreKernel) runPollPass(owner execOwner) {
 		k.cfg.TxCleanCycles*float64(txn)
 	k.owner = owner
 	k.lastRan = owner
-	k.exec = k.core.StartExec(cost, func() {
-		k.exec = nil
-		k.owner = ownerNone
-		// Deliver to the socket queue (Tx completions carry no payload).
-		for _, p := range batch {
-			if p.Payload != nil {
-				k.sockQ = append(k.sockQ, p.Payload)
-			}
+	k.pollBatch = batch
+	k.pollTxn = txn
+	k.exec = k.core.StartExec(cost, k.pollDone)
+}
+
+func (k *CoreKernel) onPollDone() {
+	owner := k.owner
+	batch, txn := k.pollBatch, k.pollTxn
+	k.pollBatch = nil
+	k.exec = nil
+	k.owner = ownerNone
+	// Deliver to the socket queue (Tx completions carry no payload) and
+	// recycle the packet records — one of the pool's explicit recycle
+	// points: the ring slots were vacated by Poll and the payload is now
+	// owned by the socket queue.
+	for _, p := range batch {
+		if p.Payload != nil {
+			k.sockQ = append(k.sockQ, p.Payload)
 		}
-		if len(k.sockQ) > k.c.MaxSockQ {
-			k.c.MaxSockQ = len(k.sockQ)
-		}
-		mode := PollingMode
-		if owner == ownerSoftirq && k.firstPass {
-			mode = InterruptMode
-		}
-		k.firstPass = false
-		n := len(batch) + txn
-		if mode == InterruptMode {
-			k.c.PktIntr += uint64(n)
-		} else {
-			k.c.PktPoll += uint64(n)
-		}
-		for _, l := range k.listeners {
-			l.PacketsProcessed(k.ID, mode, n)
-		}
-		if !k.dev.HasWork(k.ID) {
+		k.dev.PutPacket(p)
+	}
+	if len(k.sockQ) > k.c.MaxSockQ {
+		k.c.MaxSockQ = len(k.sockQ)
+	}
+	mode := PollingMode
+	if owner == ownerSoftirq && k.firstPass {
+		mode = InterruptMode
+	}
+	k.firstPass = false
+	n := len(batch) + txn
+	if mode == InterruptMode {
+		k.c.PktIntr += uint64(n)
+	} else {
+		k.c.PktPoll += uint64(n)
+	}
+	for _, l := range k.listeners {
+		l.PacketsProcessed(k.ID, mode, n)
+	}
+	if !k.dev.HasWork(k.ID) {
+		k.needResched = false
+		k.napiComplete(owner)
+	} else if owner == ownerSoftirq {
+		k.softirqPasses++
+		if k.needResched ||
+			k.softirqPasses >= k.cfg.MaxPollPasses ||
+			sim.Duration(k.eng.Now()-k.softirqStart) >= k.cfg.SoftirqTimeLimit {
 			k.needResched = false
-			k.napiComplete(owner)
-		} else if owner == ownerSoftirq {
-			k.softirqPasses++
-			if k.needResched ||
-				k.softirqPasses >= k.cfg.MaxPollPasses ||
-				sim.Duration(k.eng.Now()-k.softirqStart) >= k.cfg.SoftirqTimeLimit {
-				k.needResched = false
-				k.migrateToKsoftirqd()
-			}
+			k.migrateToKsoftirqd()
 		}
-		k.dispatch()
-	})
+	}
+	k.dispatch()
 }
 
 // napiComplete ends the polling session: the ring is empty, the queue
@@ -491,16 +523,18 @@ func (k *CoreKernel) runApp() {
 	}
 	k.owner = ownerApp
 	k.lastRan = ownerApp
-	k.exec = k.core.StartExec(k.appRem, func() {
-		k.exec = nil
-		k.owner = ownerNone
-		done := k.appCur
-		k.appCur = nil
-		k.appRem = 0
-		k.c.Completed++
-		if k.OnAppComplete != nil {
-			k.OnAppComplete(done)
-		}
-		k.dispatch()
-	})
+	k.exec = k.core.StartExec(k.appRem, k.appDone)
+}
+
+func (k *CoreKernel) onAppDone() {
+	k.exec = nil
+	k.owner = ownerNone
+	done := k.appCur
+	k.appCur = nil
+	k.appRem = 0
+	k.c.Completed++
+	if k.OnAppComplete != nil {
+		k.OnAppComplete(done)
+	}
+	k.dispatch()
 }

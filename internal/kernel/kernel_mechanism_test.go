@@ -6,6 +6,7 @@ import (
 	"nmapsim/internal/cpu"
 	"nmapsim/internal/nic"
 	"nmapsim/internal/sim"
+	"nmapsim/internal/workload"
 )
 
 // TestSchedulerTickMigratesToKsoftirqd exercises §2.1's third migration
@@ -21,7 +22,7 @@ func TestSchedulerTickMigratesToKsoftirqd(t *testing.T) {
 	dev := nic.New(nic.DefaultConfig(1), eng, 7)
 	rec := &recListener{}
 	k := NewCoreKernel(0, eng, core, dev, Config{}, fixedIdle{cpu.CC0})
-	k.AppCycles = func(any) float64 { return 60_000 } // 50µs at P15: app always runnable
+	k.AppCycles = func(*workload.Request) float64 { return 60_000 } // 50µs at P15: app always runnable
 	k.AddListener(rec)
 	k.Start()
 	// Sustained trickle: each packet's softirq work (~3µs at P15) keeps
@@ -30,7 +31,7 @@ func TestSchedulerTickMigratesToKsoftirqd(t *testing.T) {
 	for i := 0; i < 4000; i++ {
 		d := sim.Duration(i) * 3 * sim.Microsecond
 		id := uint64(i)
-		eng.Schedule(d, func() { dev.Deliver(&nic.Packet{ID: id, Flow: id, Payload: int(id)}) })
+		eng.Schedule(d, func() { dev.Deliver(&nic.Packet{ID: id, Flow: id, Payload: &workload.Request{ID: id}}) })
 	}
 	eng.Run(sim.Time(14 * sim.Millisecond)) // covers 3 scheduler ticks
 	if rec.ksWakes == 0 {
@@ -51,13 +52,13 @@ func TestNoTickMigrationWithoutAppBacklog(t *testing.T) {
 	dev := nic.New(nic.DefaultConfig(1), eng, 7)
 	rec := &recListener{}
 	k := NewCoreKernel(0, eng, core, dev, Config{}, fixedIdle{cpu.CC0})
-	k.AppCycles = func(any) float64 { return 100 }
+	k.AppCycles = func(*workload.Request) float64 { return 100 }
 	k.AddListener(rec)
 	k.Start()
 	for i := 0; i < 1000; i++ {
 		d := sim.Duration(i) * 10 * sim.Microsecond
 		id := uint64(i)
-		eng.Schedule(d, func() { dev.Deliver(&nic.Packet{ID: id, Flow: id, Payload: int(id)}) })
+		eng.Schedule(d, func() { dev.Deliver(&nic.Packet{ID: id, Flow: id, Payload: &workload.Request{ID: id}}) })
 	}
 	eng.Run(sim.Time(20 * sim.Millisecond))
 	if rec.ksWakes != 0 {
@@ -135,7 +136,7 @@ func TestBusyCoreConservesWork(t *testing.T) {
 	for i := 0; i < n; i++ {
 		d := sim.Duration(i) * 7 * sim.Microsecond
 		id := uint64(i)
-		r.eng.Schedule(d, func() { r.dev.Deliver(&nic.Packet{ID: id, Flow: id, Payload: int(id)}) })
+		r.eng.Schedule(d, func() { r.dev.Deliver(&nic.Packet{ID: id, Flow: id, Payload: &workload.Request{ID: id}}) })
 	}
 	drain(r.eng)
 	c := r.k.Counters()

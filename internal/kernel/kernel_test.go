@@ -6,6 +6,7 @@ import (
 	"nmapsim/internal/cpu"
 	"nmapsim/internal/nic"
 	"nmapsim/internal/sim"
+	"nmapsim/internal/workload"
 )
 
 type fixedIdle struct{ st cpu.CState }
@@ -52,8 +53,8 @@ func newRig(appCycles float64, idle cpu.CState) *rig {
 	dev := nic.New(nic.DefaultConfig(1), eng, 7)
 	r := &rig{eng: eng, dev: dev, rec: &recListener{}}
 	k := NewCoreKernel(0, eng, core, dev, Config{}, fixedIdle{idle})
-	k.AppCycles = func(any) float64 { return appCycles }
-	k.OnAppComplete = func(any) { r.done = append(r.done, eng.Now()) }
+	k.AppCycles = func(*workload.Request) float64 { return appCycles }
+	k.OnAppComplete = func(*workload.Request) { r.done = append(r.done, eng.Now()) }
 	k.AddListener(r.rec)
 	k.Start()
 	r.k = k
@@ -62,7 +63,7 @@ func newRig(appCycles float64, idle cpu.CState) *rig {
 
 func (r *rig) deliver(n int) {
 	for i := 0; i < n; i++ {
-		r.dev.Deliver(&nic.Packet{ID: uint64(i), Flow: uint64(i), Payload: i})
+		r.dev.Deliver(&nic.Packet{ID: uint64(i), Flow: uint64(i), Payload: &workload.Request{ID: uint64(i)}})
 	}
 }
 
@@ -119,11 +120,11 @@ func TestKsoftirqdMigrationAfterTenPasses(t *testing.T) {
 	dev := nic.New(ncfg, eng, 7)
 	rec := &recListener{}
 	k := NewCoreKernel(0, eng, core, dev, Config{}, fixedIdle{cpu.CC0})
-	k.AppCycles = func(any) float64 { return 100 }
+	k.AppCycles = func(*workload.Request) float64 { return 100 }
 	k.AddListener(rec)
 	k.Start()
 	for i := 0; i < 64*12; i++ {
-		dev.Deliver(&nic.Packet{ID: uint64(i), Flow: uint64(i), Payload: i})
+		dev.Deliver(&nic.Packet{ID: uint64(i), Flow: uint64(i), Payload: &workload.Request{ID: uint64(i)}})
 	}
 	drain(eng)
 	r := &rig{eng: eng, dev: dev, k: k, rec: rec}
@@ -153,15 +154,15 @@ func TestKsoftirqdSharesCoreWithApp(t *testing.T) {
 	var ksSleepAt sim.Time
 	rec := &recListener{}
 	k := NewCoreKernel(0, eng, core, dev, Config{}, fixedIdle{cpu.CC0})
-	k.AppCycles = func(any) float64 { return 32000 } // 10µs each
-	k.OnAppComplete = func(any) { completions = append(completions, eng.Now()) }
+	k.AppCycles = func(*workload.Request) float64 { return 32000 } // 10µs each
+	k.OnAppComplete = func(*workload.Request) { completions = append(completions, eng.Now()) }
 	k.AddListener(rec)
 	k.Start()
 	// Trickle packets so the ring never empties for a while.
 	for i := 0; i < 64*14; i++ {
 		d := sim.Duration(i) * 500 // one packet per 0.5µs
 		id := uint64(i)
-		eng.Schedule(d, func() { dev.Deliver(&nic.Packet{ID: id, Flow: id, Payload: int(id)}) })
+		eng.Schedule(d, func() { dev.Deliver(&nic.Packet{ID: id, Flow: id, Payload: &workload.Request{ID: id}}) })
 	}
 	// Capture when ksoftirqd sleeps.
 	k.AddListener(listenerFuncs{onKsSleep: func() { ksSleepAt = eng.Now() }})
@@ -293,12 +294,12 @@ func TestLowRateStaysInInterruptMode(t *testing.T) {
 	core := cpu.NewCore(0, cpu.XeonGold6134, eng, sim.NewRNG(1))
 	dev := nic.New(nic.DefaultConfig(1), eng, 7)
 	k := NewCoreKernel(0, eng, core, dev, Config{}, fixedIdle{cpu.CC1})
-	k.AppCycles = func(any) float64 { return 3200 }
+	k.AppCycles = func(*workload.Request) float64 { return 3200 }
 	k.Start()
 	for i := 0; i < 50; i++ {
 		d := sim.Duration(i) * 100 * sim.Microsecond
 		id := uint64(i)
-		eng.Schedule(d, func() { dev.Deliver(&nic.Packet{ID: id, Flow: id, Payload: int(id)}) })
+		eng.Schedule(d, func() { dev.Deliver(&nic.Packet{ID: id, Flow: id, Payload: &workload.Request{ID: id}}) })
 	}
 	drain(eng)
 	c := k.Counters()

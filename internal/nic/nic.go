@@ -7,9 +7,12 @@ package nic
 
 import (
 	"nmapsim/internal/sim"
+	"nmapsim/internal/workload"
 )
 
 // Packet is one network packet moving through the simulated datapath.
+// Records are recycled through the NIC's free list (GetPacket /
+// PutPacket), so the steady-state Rx/Tx path does not allocate.
 type Packet struct {
 	// ID is unique per packet within a run.
 	ID uint64
@@ -19,8 +22,11 @@ type Packet struct {
 	Sent sim.Time
 	// Arrived is when DMA placed the packet into the Rx ring.
 	Arrived sim.Time
-	// Payload carries the workload-level request; opaque to the NIC.
-	Payload any
+	// Payload carries the workload-level request (nil for packets that
+	// are pure kernel work, e.g. Tx completions). Typed plumbing: the
+	// NIC does not inspect it, but carrying the concrete pointer keeps
+	// the hot path free of interface boxing.
+	Payload *workload.Request
 }
 
 // Config parameterises the NIC.
@@ -69,12 +75,23 @@ func DefaultConfig(queues int) Config {
 
 type queue struct {
 	ring       []*Packet
-	txPending  int // Tx completions awaiting softirq cleaning
+	batch      []*Packet // reusable Poll return buffer
+	txPending  int       // Tx completions awaiting softirq cleaning
 	irqEnabled bool
 	nextIRQ    sim.Time // earliest instant ITR allows the next interrupt
 	irqTimer   sim.Event
+	irqRetry   func() // bound once: re-runs maybeInterrupt at the ITR slot
 	drops      uint64
 	interrupts uint64
+}
+
+// txOp is the pooled in-flight state of one Transmit call: the shared
+// argument every per-segment event carries instead of a closure.
+type txOp struct {
+	q         int
+	p         *Packet
+	remaining int
+	done      func(*Packet)
 }
 
 // NIC is the device model. The kernel attaches one interrupt handler per
@@ -88,6 +105,17 @@ type NIC struct {
 	// an interrupt.
 	handler []func()
 	rssSeed uint64
+
+	// Free lists for packet records and Transmit state, plus the two
+	// arg-style callbacks bound once at construction so the datapath
+	// never allocates a closure per packet.
+	pktFree []*Packet
+	txFree  []*txOp
+	dmaFn   func(any)
+	txSegFn func(any)
+	// poolOff disables recycling (the determinism debug knob): Get still
+	// serves from whatever is pooled, but Put becomes a no-op.
+	poolOff bool
 }
 
 // New builds a NIC.
@@ -96,9 +124,64 @@ func New(cfg Config, eng *sim.Engine, rssSeed uint64) *NIC {
 	n.qs = make([]*queue, cfg.Queues)
 	n.handler = make([]func(), cfg.Queues)
 	for i := range n.qs {
+		q := i
 		n.qs[i] = &queue{irqEnabled: true}
+		n.qs[i].irqRetry = func() { n.maybeInterrupt(q) }
 	}
+	n.dmaFn = n.dmaLand
+	n.txSegFn = n.txSegment
 	return n
+}
+
+// DisablePooling turns off packet/Transmit-record recycling. It exists
+// so tests can prove pooling changes nothing but allocation behaviour:
+// a seeded run with pooling off must be byte-identical to one with
+// pooling on.
+func (n *NIC) DisablePooling() { n.poolOff = true }
+
+// GetPacket takes a zeroed packet record off the free list (or mints
+// one). The caller owns it until it hands it back via PutPacket.
+func (n *NIC) GetPacket() *Packet {
+	if ln := len(n.pktFree); ln > 0 {
+		p := n.pktFree[ln-1]
+		n.pktFree[ln-1] = nil
+		n.pktFree = n.pktFree[:ln-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// PutPacket recycles a packet record. The explicit recycle points are:
+// the kernel's poll pass (after payload extraction), the NIC's own
+// ring-overflow drop, and the server's Tx-completion hook.
+func (n *NIC) PutPacket(p *Packet) {
+	if n.poolOff {
+		return
+	}
+	*p = Packet{}
+	n.pktFree = append(n.pktFree, p)
+}
+
+// PacketPoolSize returns the number of idle pooled packet records —
+// bounded by the peak number of packets simultaneously in flight.
+func (n *NIC) PacketPoolSize() int { return len(n.pktFree) }
+
+func (n *NIC) getTxOp() *txOp {
+	if ln := len(n.txFree); ln > 0 {
+		t := n.txFree[ln-1]
+		n.txFree[ln-1] = nil
+		n.txFree = n.txFree[:ln-1]
+		return t
+	}
+	return &txOp{}
+}
+
+func (n *NIC) putTxOp(t *txOp) {
+	*t = txOp{}
+	if n.poolOff {
+		return
+	}
+	n.txFree = append(n.txFree, t)
 }
 
 // Config returns the NIC configuration.
@@ -123,17 +206,25 @@ func (n *NIC) QueueFor(flow uint64) int {
 // in the RSS-selected ring (or is dropped if the ring is full) and the
 // queue's interrupt logic runs.
 func (n *NIC) Deliver(p *Packet) {
+	n.eng.ScheduleArg(n.cfg.DMALatency, n.dmaFn, p)
+}
+
+// dmaLand is Deliver's second half, scheduled through the bound dmaFn
+// so no per-packet closure exists. The RSS queue is recomputed here;
+// QueueFor is pure, so the result is identical to hashing at Deliver
+// time.
+func (n *NIC) dmaLand(a any) {
+	p := a.(*Packet)
 	q := n.QueueFor(p.Flow)
-	n.eng.Schedule(n.cfg.DMALatency, func() {
-		qu := n.qs[q]
-		if len(qu.ring) >= n.cfg.RingSize {
-			qu.drops++
-			return
-		}
-		p.Arrived = n.eng.Now()
-		qu.ring = append(qu.ring, p)
-		n.maybeInterrupt(q)
-	})
+	qu := n.qs[q]
+	if len(qu.ring) >= n.cfg.RingSize {
+		qu.drops++
+		n.PutPacket(p)
+		return
+	}
+	p.Arrived = n.eng.Now()
+	qu.ring = append(qu.ring, p)
+	n.maybeInterrupt(q)
 }
 
 // maybeInterrupt raises an interrupt on queue q if the queue has work
@@ -155,23 +246,28 @@ func (n *NIC) maybeInterrupt(q int) {
 		return
 	}
 	if !qu.irqTimer.Pending() {
-		qu.irqTimer = n.eng.At(qu.nextIRQ, func() {
-			n.maybeInterrupt(q)
-		})
+		qu.irqTimer = n.eng.At(qu.nextIRQ, qu.irqRetry)
 	}
 }
 
 // Poll dequeues up to max packets from queue q (the NAPI poll routine).
+// The returned slice is a per-queue scratch buffer, valid until the next
+// Poll on the same queue — callers must finish with it (and recycle the
+// records via PutPacket) before polling again.
 func (n *NIC) Poll(q, max int) []*Packet {
 	qu := n.qs[q]
 	if max > len(qu.ring) {
 		max = len(qu.ring)
 	}
-	batch := qu.ring[:max]
-	rest := qu.ring[max:]
-	// Copy down to avoid unbounded backing-array growth.
-	qu.ring = append(qu.ring[:0:0], rest...)
-	return batch
+	qu.batch = append(qu.batch[:0], qu.ring[:max]...)
+	// Shift the remainder down in place (no fresh backing array) and
+	// clear the vacated tail so the ring never pins recycled records.
+	rest := copy(qu.ring, qu.ring[max:])
+	for i := rest; i < len(qu.ring); i++ {
+		qu.ring[i] = nil
+	}
+	qu.ring = qu.ring[:rest]
+	return qu.batch
 }
 
 // QueueLen returns the occupancy of ring q.
@@ -199,16 +295,31 @@ func (n *NIC) Transmit(q int, p *Packet, segments int, done func(*Packet)) {
 	if segments < 1 {
 		segments = 1
 	}
-	qu := n.qs[q]
+	t := n.getTxOp()
+	t.q = q
+	t.p = p
+	t.remaining = segments
+	t.done = done
 	for i := 1; i <= segments; i++ {
-		last := i == segments
-		n.eng.Schedule(n.cfg.TxLatency+sim.Duration(i)*n.cfg.TxWire, func() {
-			qu.txPending++
-			n.maybeInterrupt(q)
-			if last {
-				done(p)
-			}
-		})
+		n.eng.ScheduleArg(n.cfg.TxLatency+sim.Duration(i)*n.cfg.TxWire, n.txSegFn, t)
+	}
+}
+
+// txSegment fires once per MTU segment leaving the wire. Segments of
+// one Transmit share a pooled txOp and are scheduled at strictly
+// increasing instants, so the remaining counter hits zero exactly when
+// the old per-segment closures would have run their `last` branch.
+func (n *NIC) txSegment(a any) {
+	t := a.(*txOp)
+	n.qs[t.q].txPending++
+	n.maybeInterrupt(t.q)
+	t.remaining--
+	if t.remaining == 0 {
+		done, p := t.done, t.p
+		n.putTxOp(t)
+		if done != nil {
+			done(p)
+		}
 	}
 }
 

@@ -62,10 +62,16 @@ type Config struct {
 	// traversal; defaults to 3µs.
 	NetJitter sim.Duration
 	// Warmup and Duration delimit the measured window; defaults 200ms
-	// and 1s.
+	// and 1s. A negative Warmup means "no warmup" (measure from instant
+	// zero), mirroring BurstPattern.Ramp's negative-means-zero idiom.
 	Warmup, Duration sim.Duration
 	// ForceChipWide applies the chip-wide DVFS coordination rule (NCAP).
 	ForceChipWide bool
+	// DisablePooling turns off request/packet recycling and generator
+	// batch pre-sampling — a debug knob for proving the allocation
+	// machinery is physics-neutral. A seeded run must produce
+	// byte-identical Results with this on or off.
+	DisablePooling bool
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +104,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Warmup == 0 {
 		c.Warmup = 200 * sim.Millisecond
+	}
+	if c.Warmup < 0 {
+		c.Warmup = 0
 	}
 	if c.Duration == 0 {
 		c.Duration = sim.Duration(sim.Second)
@@ -166,13 +175,27 @@ type Server struct {
 	rng      *sim.RNG
 	netRng   *sim.RNG
 	measFrom sim.Time
+	// measuring is true once the warmup window has elapsed; unlike the
+	// old `measFrom > 0` sentinel it is correct even when the
+	// measurement window starts at instant 0 (zero warmup).
+	measuring bool
 	// OnDone observes every completed request (measured window or not),
-	// used by Parties' latency feedback and the figure tracers.
+	// used by Parties' latency feedback and the figure tracers. The
+	// request record is recycled as soon as the hook returns, so
+	// observers must copy anything they need rather than retain r.
 	OnDone func(r *workload.Request)
 
 	policy   Policy
 	idlePol  kernel.IdlePolicy
 	baseline float64 // package energy at warmup end
+
+	// Allocation-free plumbing: the request pool and the callbacks the
+	// per-request path schedules against (bound once here instead of
+	// closed over per packet).
+	reqPool   workload.RequestPool
+	deliverFn func(any)
+	respFn    func(any)
+	txDoneFn  func(*nic.Packet)
 }
 
 // New assembles a server. The idle policy applies to every core; pass
@@ -200,26 +223,37 @@ func New(cfg Config, idle kernel.IdlePolicy) *Server {
 	}
 	ncfg.HashRSS = cfg.LumpyRSS
 	s.NIC = nic.New(ncfg, eng, rng.Uint64())
+	if cfg.DisablePooling {
+		s.NIC.DisablePooling()
+		s.reqPool.Disable()
+	}
+	s.deliverFn = func(a any) { s.NIC.Deliver(a.(*nic.Packet)) }
+	s.respFn = s.respond
+	s.txDoneFn = s.txDone
 	for i, c := range s.Proc.Cores {
 		k := kernel.NewCoreKernel(i, eng, c, s.NIC, cfg.Kernel, idle)
-		k.AppCycles = func(payload any) float64 {
-			return payload.(*workload.Request).AppCycles
-		}
+		k.AppCycles = appCost
 		k.OnAppComplete = s.complete
 		s.Kernels = append(s.Kernels, k)
 	}
 	s.Gen = &workload.Generator{
-		Eng:            eng,
-		RNG:            rng.Fork(),
-		Profile:        cfg.Profile,
-		Pattern:        cfg.Pattern,
-		RPS:            cfg.RPS,
-		VariableLevels: cfg.VariableLevels,
-		SwitchPeriod:   cfg.SwitchPeriod,
-		Deliver:        s.ingress,
+		Eng:             eng,
+		RNG:             rng.Fork(),
+		Profile:         cfg.Profile,
+		Pattern:         cfg.Pattern,
+		RPS:             cfg.RPS,
+		VariableLevels:  cfg.VariableLevels,
+		SwitchPeriod:    cfg.SwitchPeriod,
+		Deliver:         s.ingress,
+		Pool:            &s.reqPool,
+		DisableBatching: cfg.DisablePooling,
 	}
 	return s
 }
+
+// appCost is the kernel's service-cost hook: the request carries its
+// own pre-sampled cycle count.
+func appCost(r *workload.Request) float64 { return r.AppCycles }
 
 // AttachPolicy installs the power-management policy; it will be started
 // when Run begins.
@@ -243,37 +277,54 @@ func (s *Server) netDelay() sim.Duration {
 func (s *Server) Ingress(r *workload.Request) { s.ingress(r) }
 
 // ingress carries a freshly generated request over the network into the
-// NIC.
+// NIC. The packet record comes from the NIC's pool and the network hop
+// is scheduled against the bound deliver callback, so the steady-state
+// path allocates nothing.
 func (s *Server) ingress(r *workload.Request) {
-	s.Eng.Schedule(s.netDelay(), func() {
-		s.NIC.Deliver(&nic.Packet{
-			ID:      r.ID,
-			Flow:    r.Flow,
-			Sent:    r.Sent,
-			Payload: r,
-		})
-	})
+	p := s.NIC.GetPacket()
+	p.ID = r.ID
+	p.Flow = r.Flow
+	p.Sent = r.Sent
+	p.Payload = r
+	s.Eng.ScheduleArg(s.netDelay(), s.deliverFn, p)
 }
 
 // complete is the app-thread completion hook: transmit the response
 // (all of its MTU segments, whose Tx completions feed back into NAPI)
 // and record the client-observed latency after the last segment plus
 // the return network traversal.
-func (s *Server) complete(payload any) {
-	r := payload.(*workload.Request)
+func (s *Server) complete(r *workload.Request) {
 	q := s.NIC.QueueFor(r.Flow)
 	segs := s.Cfg.Profile.TxSegments
-	s.NIC.Transmit(q, &nic.Packet{ID: r.ID, Flow: r.Flow, Payload: r}, segs, func(*nic.Packet) {
-		s.Eng.Schedule(s.netDelay(), func() {
-			r.Done = s.Eng.Now()
-			if r.Done >= s.measFrom && s.measFrom > 0 {
-				s.Hist.Add(r.Latency())
-			}
-			if s.OnDone != nil {
-				s.OnDone(r)
-			}
-		})
-	})
+	p := s.NIC.GetPacket()
+	p.ID = r.ID
+	p.Flow = r.Flow
+	p.Payload = r
+	s.NIC.Transmit(q, p, segs, s.txDoneFn)
+}
+
+// txDone fires when the response's last segment leaves the NIC: the Tx
+// packet record goes back to the pool and the request rides the return
+// network traversal to the client.
+func (s *Server) txDone(p *nic.Packet) {
+	r := p.Payload
+	s.NIC.PutPacket(p)
+	s.Eng.ScheduleArg(s.netDelay(), s.respFn, r)
+}
+
+// respond is the client-side completion: record the latency, inform
+// OnDone, and recycle the request record — the pool's terminal recycle
+// point.
+func (s *Server) respond(a any) {
+	r := a.(*workload.Request)
+	r.Done = s.Eng.Now()
+	if s.measuring {
+		s.Hist.Add(r.Latency())
+	}
+	if s.OnDone != nil {
+		s.OnDone(r)
+	}
+	s.reqPool.Put(r)
 }
 
 // Start arms the kernels, the policy and the generator without running
@@ -293,6 +344,7 @@ func (s *Server) Run() Result {
 	s.Start()
 	s.Eng.Run(sim.Time(s.Cfg.Warmup))
 	s.measFrom = s.Eng.Now()
+	s.measuring = true
 	s.baseline = s.Proc.PackageEnergyJ()
 	end := sim.Time(s.Cfg.Warmup + s.Cfg.Duration)
 	s.Eng.Run(end)
@@ -350,3 +402,11 @@ func (s *Server) Collect() Result {
 // MeasuredFrom returns the start of the measurement window (zero until
 // warmup completes).
 func (s *Server) MeasuredFrom() sim.Time { return s.measFrom }
+
+// Measuring reports whether the warmup window has elapsed and responses
+// are being recorded into the histogram.
+func (s *Server) Measuring() bool { return s.measuring }
+
+// RequestPoolSize returns the number of idle pooled request records —
+// bounded by the peak number of requests simultaneously in flight.
+func (s *Server) RequestPoolSize() int { return s.reqPool.Size() }

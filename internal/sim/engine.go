@@ -77,6 +77,12 @@ type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	// afn/arg are the arg-carrying form used by ScheduleArg/AtArg: afn
+	// is a long-lived callback (typically bound once at construction)
+	// and arg rides in the pooled record, so hot paths schedule without
+	// minting a one-shot closure per event.
+	afn func(any)
+	arg any
 	idx int32  // position in the heap, -1 when not queued
 	gen uint32 // recycle generation; handles carry the value at issue time
 }
@@ -172,6 +178,8 @@ func (e *Engine) alloc() *event {
 // releases the callback's captures promptly.
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
 	ev.idx = -1
 	ev.gen++
 	e.free = append(e.free, ev)
@@ -283,6 +291,35 @@ func (e *Engine) At(t Time, fn func()) Event {
 	return Event{eng: e, ev: ev, gen: ev.gen}
 }
 
+// ScheduleArg queues fn(arg) to run after delay. Unlike Schedule it does
+// not require a fresh closure per event: fn is typically a callback
+// bound once at component construction, and arg (usually a pooled
+// pointer) travels in the recycled event record, keeping steady-state
+// scheduling allocation-free even when the callback needs per-event
+// state.
+func (e *Engine) ScheduleArg(delay Duration, fn func(any), arg any) Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.AtArg(e.now+Time(delay), fn, arg)
+}
+
+// AtArg queues fn(arg) to run at the absolute instant t. Scheduling in
+// the past is clamped to the current instant.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) Event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.afn = fn
+	ev.arg = arg
+	e.seq++
+	e.push(ev)
+	return Event{eng: e, ev: ev, gen: ev.gen}
+}
+
 // Stop aborts Run after the currently executing event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
@@ -294,7 +331,12 @@ func (e *Engine) fire() {
 	e.now = next.at
 	e.fired++
 	fn := next.fn
+	afn, arg := next.afn, next.arg
 	e.recycle(next)
+	if afn != nil {
+		afn(arg)
+		return
+	}
 	fn()
 }
 

@@ -83,9 +83,30 @@ func (b BurstPattern) inBurst(t sim.Time) (bool, sim.Time) {
 	return false, next
 }
 
+// presampleBatch is how many candidate arrivals the generator draws per
+// refill in batched mode.
+const presampleBatch = 256
+
+// arrival is one pre-sampled candidate: where it fires, whether the
+// ramp thinning accepted it, and (if accepted) its service cost.
+type arrival struct {
+	at       sim.Time
+	accepted bool
+	cycles   float64
+}
+
 // Generator produces the open-loop request stream. Deliver is invoked at
 // each arrival instant with a freshly built request; the server assembly
 // adds network latency and NIC ingress.
+//
+// With a fixed load level the generator pre-samples candidate arrivals
+// in batches of presampleBatch: the PRNG draws happen in exactly the
+// per-arrival order (gap, thinning, service cost, next gap, …) and one
+// engine event still fires per candidate, so the physics are
+// byte-identical to the unbatched path — but the hot loop touches only
+// the reusable buffer, a cached callback, and the request pool, never
+// the allocator. Variable-level runs (Fig 16) keep the unbatched path,
+// because the level switches interleave PRNG draws with arrivals.
 type Generator struct {
 	Eng     *sim.Engine
 	RNG     *sim.RNG
@@ -95,6 +116,8 @@ type Generator struct {
 	RPS float64
 	// Deliver receives each request at its send instant.
 	Deliver func(*Request)
+	// Pool supplies request records; nil means allocate per request.
+	Pool *RequestPool
 
 	// VariableLevels, if non-empty, switches the offered load to a
 	// random member every SwitchPeriod (the Fig 16 workload).
@@ -103,20 +126,44 @@ type Generator struct {
 	// LevelChanged, if set, is informed of each switch (for tracing).
 	LevelChanged func(t sim.Time, rps float64)
 
+	// DisableBatching forces the unbatched per-arrival path even for
+	// fixed-level runs — the debug knob the determinism tests use to
+	// prove batching changes nothing.
+	DisableBatching bool
+
 	nextID  uint64
 	stopped bool
 	curRPS  float64
+
+	// Cached callbacks (bound once in Start) and the pre-sample ring.
+	emitFn   func()
+	switchFn func()
+	buf      []arrival
+	head     int
+	cursor   sim.Time // candidate chain position for the next refill
+	batched  bool
 }
 
 // Start begins generating arrivals immediately.
 func (g *Generator) Start() {
 	g.curRPS = g.RPS
+	g.switchFn = g.switchLevel
 	if len(g.VariableLevels) > 0 {
 		if g.SwitchPeriod <= 0 {
 			g.SwitchPeriod = 500 * sim.Millisecond
 		}
 		g.switchLevel()
 	}
+	g.batched = len(g.VariableLevels) == 0 && !g.DisableBatching
+	if g.batched {
+		g.emitFn = g.emitBatched
+		g.buf = make([]arrival, 0, presampleBatch)
+		g.cursor = g.Eng.Now()
+		g.refill()
+		g.scheduleHead()
+		return
+	}
+	g.emitFn = g.emit
 	g.scheduleNext()
 }
 
@@ -130,12 +177,89 @@ func (g *Generator) switchLevel() {
 	}
 	g.Eng.Schedule(g.SwitchPeriod, func() {
 		if !g.stopped {
-			g.switchLevel()
+			g.switchFn()
 		}
 	})
 }
 
-// scheduleNext schedules the next arrival according to the burst pattern.
+// newRequest builds one accepted arrival's request record.
+func (g *Generator) newRequest(cycles float64) *Request {
+	g.nextID++
+	var r *Request
+	if g.Pool != nil {
+		r = g.Pool.Get()
+	} else {
+		r = &Request{}
+	}
+	r.ID = g.nextID
+	r.Flow = g.nextID % uint64(g.Profile.Flows)
+	r.Sent = g.Eng.Now()
+	r.AppCycles = cycles
+	return r
+}
+
+// refill pre-samples the next presampleBatch candidates, replaying the
+// exact per-arrival draw order: gap (and burst-fold gap), thinning
+// (only when the ramp fraction is < 1), then service cost (only when
+// accepted).
+func (g *Generator) refill() {
+	g.buf = g.buf[:0]
+	g.head = 0
+	peak := g.Pattern.PeakRate(g.curRPS)
+	if peak <= 0 {
+		return
+	}
+	meanGap := sim.Duration(1e9 / peak)
+	t := g.cursor
+	for i := 0; i < presampleBatch; i++ {
+		in, next := g.Pattern.inBurst(t)
+		var at sim.Time
+		if in {
+			at = t + sim.Time(g.RNG.ExpDur(meanGap))
+			// If the gap crosses the burst end, fold into the next burst.
+			if in2, next2 := g.Pattern.inBurst(at); !in2 {
+				at = next2 + sim.Time(g.RNG.ExpDur(meanGap))
+			}
+		} else {
+			at = next + sim.Time(g.RNG.ExpDur(meanGap))
+		}
+		a := arrival{at: at, accepted: true}
+		if frac := g.Pattern.rateFrac(at); frac < 1 && g.RNG.Float64() >= frac {
+			a.accepted = false
+		} else {
+			a.cycles = g.Profile.SampleAppCycles(g.RNG)
+		}
+		g.buf = append(g.buf, a)
+		t = at
+	}
+	g.cursor = t
+}
+
+// scheduleHead arms the engine event for the next pre-sampled candidate
+// (one event per candidate, exactly as the unbatched path schedules).
+func (g *Generator) scheduleHead() {
+	if g.head < len(g.buf) {
+		g.Eng.At(g.buf[g.head].at, g.emitFn)
+	}
+}
+
+func (g *Generator) emitBatched() {
+	if g.stopped {
+		return
+	}
+	a := g.buf[g.head]
+	g.head++
+	if a.accepted {
+		g.Deliver(g.newRequest(a.cycles))
+	}
+	if g.head == len(g.buf) {
+		g.refill()
+	}
+	g.scheduleHead()
+}
+
+// scheduleNext schedules the next arrival according to the burst pattern
+// (unbatched path).
 func (g *Generator) scheduleNext() {
 	if g.stopped {
 		return
@@ -157,7 +281,7 @@ func (g *Generator) scheduleNext() {
 	} else {
 		at = next + sim.Time(g.RNG.ExpDur(meanGap))
 	}
-	g.Eng.At(at, g.emit)
+	g.Eng.At(at, g.emitFn)
 }
 
 func (g *Generator) emit() {
@@ -170,13 +294,7 @@ func (g *Generator) emit() {
 		g.scheduleNext()
 		return
 	}
-	g.nextID++
-	r := &Request{
-		ID:        g.nextID,
-		Flow:      g.nextID % uint64(g.Profile.Flows),
-		Sent:      g.Eng.Now(),
-		AppCycles: g.Profile.SampleAppCycles(g.RNG),
-	}
+	r := g.newRequest(g.Profile.SampleAppCycles(g.RNG))
 	g.Deliver(r)
 	g.scheduleNext()
 }

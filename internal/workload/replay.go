@@ -75,6 +75,8 @@ type Replayer struct {
 	Profile *Profile
 	Trace   []TraceEntry
 	Deliver func(*Request)
+	// Pool supplies request records; nil means allocate per request.
+	Pool *RequestPool
 	// Loop repeats the trace every LoopPeriod (0 = play once).
 	LoopPeriod sim.Duration
 
@@ -100,10 +102,14 @@ func (r *Replayer) playFrom(offset sim.Time) {
 
 func (r *Replayer) emit(e TraceEntry) {
 	r.nextID++
-	req := &Request{
-		ID:   r.nextID,
-		Sent: r.Eng.Now(),
+	var req *Request
+	if r.Pool != nil {
+		req = r.Pool.Get()
+	} else {
+		req = &Request{}
 	}
+	req.ID = r.nextID
+	req.Sent = r.Eng.Now()
 	if e.Flow >= 0 {
 		req.Flow = uint64(e.Flow)
 	} else {

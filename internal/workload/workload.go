@@ -35,6 +35,48 @@ func (r *Request) Latency() sim.Duration {
 	return sim.Duration(r.Done - r.Sent)
 }
 
+// RequestPool is a free list of Request records. The generator takes
+// records from it at each arrival and the server returns them when the
+// response reaches the client, so a steady-state run keeps a working
+// set bounded by the peak number of in-flight requests instead of
+// allocating one record per request. The zero value is ready to use.
+type RequestPool struct {
+	free []*Request
+	// disabled turns Put into a no-op (the determinism debug knob: a
+	// seeded run with recycling off must be byte-identical to one with
+	// it on).
+	disabled bool
+}
+
+// Disable turns off recycling: Put becomes a no-op, so every Get after
+// the pool drains mints a fresh record.
+func (p *RequestPool) Disable() { p.disabled = true }
+
+// Get returns a zeroed Request.
+func (p *RequestPool) Get() *Request {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return r
+	}
+	return &Request{}
+}
+
+// Put recycles a finished request. The caller must not touch r after
+// handing it back.
+func (p *RequestPool) Put(r *Request) {
+	if p.disabled || r == nil {
+		return
+	}
+	*r = Request{}
+	p.free = append(p.free, r)
+}
+
+// Size returns the number of idle pooled records — bounded by the peak
+// number of requests simultaneously in flight.
+func (p *RequestPool) Size() int { return len(p.free) }
+
 // Profile describes one latency-critical application from the paper.
 type Profile struct {
 	Name string
