@@ -3,9 +3,28 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-compare clean
+.PHONY: ci vet build test race bench bench-compare fault-smoke determinism-gate clean
 
-ci: vet build race bench-compare bench
+ci: vet build race fault-smoke determinism-gate bench-compare bench
+
+# Fault-injection smoke matrix: the loss/retry/throttle/watchdog paths
+# run under the race detector, then one figure regenerates end to end
+# with every fault class armed at once.
+FAULT_SPEC = loss=0.02,irqloss=0.001,irqjitter=2us,throttle=50/2ms@10
+fault-smoke:
+	$(GO) test -race -count=1 \
+		-run 'Fault|Retry|Overload|WireLoss|LostIRQ|SockQCap|Watchdog|Throttle|Abort' \
+		./internal/sim/ ./internal/faults/ ./internal/cpu/ ./internal/server/ ./internal/experiments/
+	$(GO) run ./cmd/nmapsim -quick -faults $(FAULT_SPEC) -rto 20ms fig2 > /dev/null
+
+# Determinism gate: the same faulted configuration must render the same
+# bytes twice — fault schedule, retransmissions, and physics included.
+determinism-gate:
+	$(GO) build -o .gate-nmapsim ./cmd/nmapsim
+	./.gate-nmapsim -quick -faults $(FAULT_SPEC) -rto 20ms fig9 > .gate-a.txt
+	./.gate-nmapsim -quick -faults $(FAULT_SPEC) -rto 20ms fig9 > .gate-b.txt
+	cmp .gate-a.txt .gate-b.txt
+	rm -f .gate-nmapsim .gate-a.txt .gate-b.txt
 
 vet:
 	$(GO) vet ./...

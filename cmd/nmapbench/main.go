@@ -210,9 +210,14 @@ func timeFig12(workers int) time.Duration {
 	experiments.SetParallelism(workers)
 	defer experiments.SetParallelism(0)
 	start := time.Now()
-	cells := experiments.Fig12And13(experiments.Quick)
+	cells, err := experiments.Fig12And13(experiments.Quick)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nmapbench: %v\n", err)
+		os.Exit(1)
+	}
 	if len(cells) == 0 {
-		panic("empty Fig12 matrix")
+		fmt.Fprintln(os.Stderr, "nmapbench: empty Fig12 matrix")
+		os.Exit(1)
 	}
 	return time.Since(start)
 }

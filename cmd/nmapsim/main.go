@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	nmapsim [-quick] [-cpuprofile FILE] [-memprofile FILE] <experiment>
+//	nmapsim [-quick] [-faults SPEC] [-rto DUR] [-retries N] [-cpuprofile FILE] [-memprofile FILE] <experiment>
 //	nmapsim -list
 //
 // Experiments: fig2 fig3 fig4 fig7 fig8 fig9 fig10 fig11 fig12 fig13
@@ -20,18 +20,29 @@ import (
 	"runtime/pprof"
 
 	"nmapsim/internal/experiments"
+	"nmapsim/internal/faults"
+	"nmapsim/internal/sim"
+	"nmapsim/internal/workload"
 )
 
 var quick = flag.Bool("quick", false, "use short measurement windows (smoke-test quality)")
 var list = flag.Bool("list", false, "list available experiments")
 var parallel = flag.Int("parallel", 0,
 	"simulation cells in flight at once (0 = one per CPU, 1 = serial)")
+var faultSpec = flag.String("faults", "",
+	"fault-injection spec, e.g. loss=0.01,irqloss=0.001,irqjitter=5us,dmajitter=200ns,throttle=10/20ms@12")
+var rto = flag.Duration("rto", 0,
+	"client retransmission timeout (0 disables the retry loop), e.g. 10ms")
+var retries = flag.Int("retries", 0,
+	"max retransmissions per request (0 = default 3; needs -rto)")
+var cellTimeout = flag.Duration("cell-timeout", 0,
+	"wall-clock budget per simulation cell (0 = unlimited)")
 var cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to FILE")
 var memprofile = flag.String("memprofile", "", "write a heap (allocs) profile at exit to FILE")
 
 type experiment struct {
 	name, desc string
-	run        func(q experiments.Quality)
+	run        func(q experiments.Quality) error
 }
 
 func q2() experiments.Quality {
@@ -42,29 +53,51 @@ func q2() experiments.Quality {
 }
 
 var catalog = []experiment{
-	{"table1", "re-transition latency, 4 CPUs x 6 transitions (10,000 reps)", func(q experiments.Quality) {
+	{"table1", "re-transition latency, 4 CPUs x 6 transitions (10,000 reps)", func(q experiments.Quality) error {
 		reps := 10000
 		if q == experiments.Quick {
 			reps = 500
 		}
 		fmt.Println(experiments.RenderTable1(experiments.Table1(reps)))
+		return nil
 	}},
-	{"table2", "C-state wake-up latency, 4 CPUs x 2 states (100 reps)", func(q experiments.Quality) {
+	{"table2", "C-state wake-up latency, 4 CPUs x 2 states (100 reps)", func(q experiments.Quality) error {
 		fmt.Println(experiments.RenderTable2(experiments.Table2(100)))
+		return nil
 	}},
-	{"fig2", "NAPI mode split + ondemand P-state trace at high load", func(q experiments.Quality) {
-		fmt.Println(experiments.RenderTraceFigures("Fig 2: ondemand governor, high load", experiments.Fig2(q)))
+	{"fig2", "NAPI mode split + ondemand P-state trace at high load", func(q experiments.Quality) error {
+		figs, err := experiments.Fig2(q)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTraceFigures("Fig 2: ondemand governor, high load", figs))
+		return nil
 	}},
 	{"fig3", "per-request latency over 0.5s, ondemand vs performance", runFig34},
 	{"fig4", "response-time CDFs, ondemand vs performance", runFig34},
-	{"fig7", "CC6 entries and packet split under menu (low vs high load)", func(q experiments.Quality) {
-		fmt.Println(experiments.RenderTraceFigures("Fig 7: menu governor sleep behaviour (performance governor)", experiments.Fig7(q)))
+	{"fig7", "CC6 entries and packet split under menu (low vs high load)", func(q experiments.Quality) error {
+		figs, err := experiments.Fig7(q)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTraceFigures("Fig 7: menu governor sleep behaviour (performance governor)", figs))
+		return nil
 	}},
-	{"fig8", "latency-load curve + energy for menu/disable/c6only", func(q experiments.Quality) {
-		fmt.Println(experiments.RenderFig8(experiments.Fig8(q)))
+	{"fig8", "latency-load curve + energy for menu/disable/c6only", func(q experiments.Quality) error {
+		pts, err := experiments.Fig8(q)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFig8(pts))
+		return nil
 	}},
-	{"fig9", "NAPI mode split + NMAP P-state trace at high load", func(q experiments.Quality) {
-		fmt.Println(experiments.RenderTraceFigures("Fig 9: NMAP, high load", experiments.Fig9(q)))
+	{"fig9", "NAPI mode split + NMAP P-state trace at high load", func(q experiments.Quality) error {
+		figs, err := experiments.Fig9(q)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTraceFigures("Fig 9: NMAP, high load", figs))
+		return nil
 	}},
 	{"fig10", "per-request latency over 0.5s under NMAP", runFig1011},
 	{"fig11", "response-time CDFs under NMAP", runFig1011},
@@ -72,35 +105,37 @@ var catalog = []experiment{
 	{"fig13", "energy matrix for the same configurations", runFig1213},
 	{"fig14", "P99 vs state-of-the-art (NCAP, NCAP-menu)", runFig1415},
 	{"fig15", "energy vs state-of-the-art (NCAP, NCAP-menu)", runFig1415},
-	{"fig16", "randomly switching load: NMAP vs Parties", func(q experiments.Quality) {
-		fmt.Println(experiments.RenderFig16(experiments.Fig16(q)))
+	{"fig16", "randomly switching load: NMAP vs Parties", func(q experiments.Quality) error {
+		figs, err := experiments.Fig16(q)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFig16(figs))
+		return nil
 	}},
-	{"ablation-perrequest", "per-request DVFS vs NMAP under re-transition latency (5.1)", func(q experiments.Quality) {
-		fmt.Println(experiments.RenderAblation("Ablation: per-request DVFS pays the re-transition latency",
-			experiments.AblationPerRequest(q)))
-	}},
-	{"ablation-thresholds", "NI_TH sensitivity sweep", func(q experiments.Quality) {
-		fmt.Println(experiments.RenderAblation("Ablation: NI_TH sensitivity (memcached, high load)",
-			experiments.AblationThresholds(q)))
-	}},
-	{"ablation-chipwide", "per-core vs chip-wide NMAP", func(q experiments.Quality) {
-		fmt.Println(experiments.RenderAblation("Ablation: per-core vs chip-wide NMAP (memcached, medium load)",
-			experiments.AblationChipWide(q)))
-	}},
-	{"ablation-extensions", "future-work extensions: online tuning, sleep integration", func(q experiments.Quality) {
-		fmt.Println(experiments.RenderAblation("Ablation: NMAP future-work extensions (memcached, high load)",
-			experiments.AblationExtensions(q)))
-	}},
-	{"ablation-rss", "per-core vs chip-wide NMAP under lumpy RSS", func(q experiments.Quality) {
-		fmt.Println(experiments.RenderAblation("Ablation: RSS imbalance and per-core DVFS (memcached, medium load)",
-			experiments.AblationRSS(q)))
-	}},
-	{"ablation-itr", "NIC interrupt-throttle period sensitivity", func(q experiments.Quality) {
-		fmt.Println(experiments.RenderAblation("Ablation: ITR period sensitivity (memcached, high load, NMAP)",
-			experiments.AblationITR(q)))
-	}},
-	{"ablation-microslo", "sleep states vs a 90µs SLO (the §8 outlook)", func(q experiments.Quality) {
-		cells := experiments.AblationMicroSLO(q)
+	{"ablation-perrequest", "per-request DVFS vs NMAP under re-transition latency (5.1)",
+		runAblation("Ablation: per-request DVFS pays the re-transition latency",
+			experiments.AblationPerRequest)},
+	{"ablation-thresholds", "NI_TH sensitivity sweep",
+		runAblation("Ablation: NI_TH sensitivity (memcached, high load)",
+			experiments.AblationThresholds)},
+	{"ablation-chipwide", "per-core vs chip-wide NMAP",
+		runAblation("Ablation: per-core vs chip-wide NMAP (memcached, medium load)",
+			experiments.AblationChipWide)},
+	{"ablation-extensions", "future-work extensions: online tuning, sleep integration",
+		runAblation("Ablation: NMAP future-work extensions (memcached, high load)",
+			experiments.AblationExtensions)},
+	{"ablation-rss", "per-core vs chip-wide NMAP under lumpy RSS",
+		runAblation("Ablation: RSS imbalance and per-core DVFS (memcached, medium load)",
+			experiments.AblationRSS)},
+	{"ablation-itr", "NIC interrupt-throttle period sensitivity",
+		runAblation("Ablation: ITR period sensitivity (memcached, high load, NMAP)",
+			experiments.AblationITR)},
+	{"ablation-microslo", "sleep states vs a 90µs SLO (the §8 outlook)", func(q experiments.Quality) error {
+		cells, err := experiments.AblationMicroSLO(q)
+		if err != nil {
+			return err
+		}
 		fmt.Println("== Ablation: sleep states against a 90µs SLO (µs-scale service) ==")
 		fmt.Printf("%-14s %-9s %10s %9s %10s\n", "policy", "idle", "p99(µs)", "violated", "energy(J)")
 		for _, c := range cells {
@@ -108,25 +143,88 @@ var catalog = []experiment{
 				c.Policy, c.Idle, c.P99.Micros(), c.Violated, c.EnergyJ)
 		}
 		fmt.Println()
+		return nil
 	}},
 }
 
-func runFig34(q experiments.Quality) {
-	fmt.Println(experiments.RenderLatencyFigures("Figs 3+4: ondemand vs performance, high load", experiments.Fig3And4(q)))
+// runAblation adapts an ablation runner into a catalog entry that
+// renders the table on success and surfaces the error otherwise.
+func runAblation(title string, fn func(experiments.Quality) ([]experiments.AblationCell, error)) func(experiments.Quality) error {
+	return func(q experiments.Quality) error {
+		cells, err := fn(q)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderAblation(title, cells))
+		return nil
+	}
 }
 
-func runFig1011(q experiments.Quality) {
-	fmt.Println(experiments.RenderLatencyFigures("Figs 10+11: NMAP, high load", experiments.Fig10And11(q)))
+func runFig34(q experiments.Quality) error {
+	figs, err := experiments.Fig3And4(q)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.RenderLatencyFigures("Figs 3+4: ondemand vs performance, high load", figs))
+	return nil
 }
 
-func runFig1213(q experiments.Quality) {
+func runFig1011(q experiments.Quality) error {
+	figs, err := experiments.Fig10And11(q)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.RenderLatencyFigures("Figs 10+11: NMAP, high load", figs))
+	return nil
+}
+
+func runFig1213(q experiments.Quality) error {
+	cells, err := experiments.Fig12And13(q)
+	if err != nil {
+		return err
+	}
 	fmt.Println(experiments.RenderMatrix("Figs 12+13: P99 and energy across governors and sleep policies",
-		experiments.Fig12And13(q), "performance"))
+		cells, "performance"))
+	return nil
 }
 
-func runFig1415(q experiments.Quality) {
+func runFig1415(q experiments.Quality) error {
+	cells, err := experiments.Fig14And15(q)
+	if err != nil {
+		return err
+	}
 	fmt.Println(experiments.RenderMatrix("Figs 14+15: comparison with state-of-the-art (energy vs performance)",
-		experiments.Fig14And15(q), "performance"))
+		cells, "performance"))
+	return nil
+}
+
+// applyInjection parses the -faults/-rto/-retries flags into the
+// package-default injection config every experiment spec inherits.
+func applyInjection() error {
+	fcfg, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		return err
+	}
+	var rcfg workload.RetryConfig
+	if *rto > 0 {
+		rcfg = workload.RetryConfig{
+			Timeout:    sim.Duration(rto.Nanoseconds()),
+			MaxRetries: *retries,
+		}
+	} else if *retries != 0 {
+		return fmt.Errorf("-retries needs -rto to enable the retry loop")
+	}
+	if err := rcfg.Validate(); err != nil {
+		return err
+	}
+	experiments.SetInjection(fcfg, rcfg)
+	experiments.SetRunTimeout(*cellTimeout)
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "nmapsim: %v\n", err)
+	os.Exit(1)
 }
 
 func main() {
@@ -134,12 +232,10 @@ func main() {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "nmapsim: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "nmapsim: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -148,6 +244,9 @@ func main() {
 	}
 	defer writeMemProfile(*memprofile)
 	experiments.SetParallelism(*parallel)
+	if err := applyInjection(); err != nil {
+		fail(err)
+	}
 	if *list || flag.NArg() == 0 {
 		fmt.Println("available experiments:")
 		for _, e := range catalog {
@@ -169,13 +268,17 @@ func main() {
 				continue
 			}
 			seen[key] = true
-			e.run(q2())
+			if err := e.run(q2()); err != nil {
+				fail(err)
+			}
 		}
 		return
 	}
 	for _, e := range catalog {
 		if e.name == name {
-			e.run(q2())
+			if err := e.run(q2()); err != nil {
+				fail(err)
+			}
 			return
 		}
 	}

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"nmapsim/internal/experiments"
+	"nmapsim/internal/faults"
 	"nmapsim/internal/report"
 	"nmapsim/internal/server"
 	"nmapsim/internal/sim"
@@ -32,8 +33,16 @@ func main() {
 		"locate the latency-load knee (the paper's SLO-setting procedure) and exit")
 	parallel := flag.Int("parallel", 0,
 		"simulation cells in flight at once (0 = one per CPU, 1 = serial)")
+	faultSpec := flag.String("faults", "",
+		"fault-injection spec, e.g. loss=0.01,throttle=10/20ms@12")
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
+	fcfg, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nmapsweep: %v\n", err)
+		os.Exit(2)
+	}
+	experiments.SetInjection(fcfg, workload.RetryConfig{})
 
 	var prof *workload.Profile
 	switch *app {
@@ -47,7 +56,11 @@ func main() {
 	}
 
 	if *inflection {
-		inf := experiments.FindInflection(prof, prof.HighRPS/8, prof.HighRPS*1.2, *points, 5, experiments.Full)
+		inf, err := experiments.FindInflection(prof, prof.HighRPS/8, prof.HighRPS*1.2, *points, 5, experiments.Full)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nmapsweep: %v\n", err)
+			os.Exit(1)
+		}
 		fmt.Printf("latency-load curve (%s, performance governor):\n", prof.Name)
 		for _, pt := range inf.Curve {
 			fmt.Printf("  %8.0fK RPS  p99=%8.3fms\n", pt.RPS/1000, pt.P99.Millis())

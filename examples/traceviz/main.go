@@ -35,8 +35,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	tf := experiments.RunTrace(prof, workload.High, *policy, "menu",
+	tf, err := experiments.RunTrace(prof, workload.High, *policy, "menu",
 		sim.Duration(*ms)*sim.Millisecond, experiments.Full)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceviz: %v\n", err)
+		os.Exit(1)
+	}
 
 	fmt.Println("ms,pkt_interrupt,pkt_polling,pstate,ksoftirqd_wakes,cc6_entries")
 	for i := 0; i < tf.Ms; i++ {

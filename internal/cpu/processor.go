@@ -20,6 +20,13 @@ type Processor struct {
 	// requested holds the most recent per-core governor requests, used
 	// to compute the chip-wide effective state.
 	requested []int
+
+	// clamped holds the per-core throttle clamp installed by fault
+	// injection (-1 = none): a clamped core never runs faster than the
+	// clamp's P-state, regardless of what the governor requests. The
+	// governor's request is still recorded, so the core snaps back to
+	// it the moment the clamp lifts.
+	clamped []int
 }
 
 // NewProcessor builds a processor with the model's core count.
@@ -28,8 +35,10 @@ func NewProcessor(m *Model, eng *sim.Engine, rng *sim.RNG) *Processor {
 	// Requests default to the slowest state so that, chip-wide, only
 	// cores whose governors actually ask for speed pull the package up.
 	p.requested = make([]int, m.NumCores)
+	p.clamped = make([]int, m.NumCores)
 	for i := range p.requested {
 		p.requested[i] = m.MaxP()
+		p.clamped[i] = -1
 	}
 	for i := 0; i < m.NumCores; i++ {
 		p.Cores = append(p.Cores, NewCore(i, m, eng, rng.Fork()))
@@ -42,14 +51,26 @@ func (p *Processor) PerCore() bool {
 	return p.Model.PerCoreDVFS && !p.ForceChipWide
 }
 
-// Request records coreID's desired operating point and applies the DVFS
-// coordination rule. On per-core parts the request applies directly; on
-// chip-wide parts every core moves to the fastest requested point
-// (smallest index).
-func (p *Processor) Request(coreID, pstate int) {
-	p.requested[coreID] = pstate
+// effective returns the operating point core i actually runs at for a
+// governor target: the slower of the target and the core's throttle
+// clamp (larger index = slower).
+func (p *Processor) effective(i, target int) int {
+	if c := p.clamped[i]; c > target {
+		return c
+	}
+	return target
+}
+
+// apply pushes the recorded requests to the cores under the DVFS
+// coordination rule. On per-core parts each request applies directly;
+// on chip-wide parts every core moves to the fastest requested point
+// (smallest index). Throttle clamps are applied last, per core, because
+// a thermal event binds one physical core even on chip-wide parts.
+func (p *Processor) apply() {
 	if p.PerCore() {
-		p.Cores[coreID].SetPState(pstate)
+		for i, c := range p.Cores {
+			c.SetPState(p.effective(i, p.requested[i]))
+		}
 		return
 	}
 	best := p.requested[0]
@@ -58,9 +79,16 @@ func (p *Processor) Request(coreID, pstate int) {
 			best = r
 		}
 	}
-	for _, c := range p.Cores {
-		c.SetPState(best)
+	for i, c := range p.Cores {
+		c.SetPState(p.effective(i, best))
 	}
+}
+
+// Request records coreID's desired operating point and applies the DVFS
+// coordination rule.
+func (p *Processor) Request(coreID, pstate int) {
+	p.requested[coreID] = pstate
+	p.apply()
 }
 
 // RequestAll sets every core's request to the same operating point.
@@ -68,15 +96,22 @@ func (p *Processor) RequestAll(pstate int) {
 	for i := range p.requested {
 		p.requested[i] = pstate
 	}
-	if p.PerCore() {
-		for _, c := range p.Cores {
-			c.SetPState(pstate)
-		}
-		return
-	}
-	for _, c := range p.Cores {
-		c.SetPState(pstate)
-	}
+	p.apply()
+}
+
+// Throttle installs a fault-injection clamp on coreID: until Unthrottle,
+// the core runs no faster than pstate. Governor requests keep being
+// recorded while clamped and take effect again when the clamp lifts.
+func (p *Processor) Throttle(coreID, pstate int) {
+	p.clamped[coreID] = pstate
+	p.apply()
+}
+
+// Unthrottle removes coreID's throttle clamp and restores the operating
+// point the coordination rule prescribes.
+func (p *Processor) Unthrottle(coreID int) {
+	p.clamped[coreID] = -1
+	p.apply()
 }
 
 // PackageEnergyJ settles all cores and returns the RAPL-style package

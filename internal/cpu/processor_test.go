@@ -142,3 +142,63 @@ func TestDesktopPartsChipWideOnly(t *testing.T) {
 		}
 	}
 }
+
+// A throttle clamp overrides faster governor requests, lets slower ones
+// through, and lifts cleanly on Unthrottle.
+func TestThrottleClampOverridesRequests(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewProcessor(XeonGold6134, eng, sim.NewRNG(1))
+	p.Request(2, 0) // governor wants full speed
+	eng.RunAll()
+
+	p.Throttle(2, 9)
+	eng.RunAll()
+	if got := p.Cores[2].PState(); got != 9 {
+		t.Fatalf("clamped core at P%d, want P9", got)
+	}
+
+	// A faster request while clamped is recorded but not applied...
+	p.Request(2, 1)
+	eng.RunAll()
+	if got := p.Cores[2].PState(); got != 9 {
+		t.Fatalf("clamped core moved to P%d on a faster request", got)
+	}
+	// ...while a slower request wins over the clamp.
+	p.Request(2, 11)
+	eng.RunAll()
+	if got := p.Cores[2].PState(); got != 11 {
+		t.Fatalf("clamped core at P%d after slower request, want P11", got)
+	}
+
+	// Lifting the clamp restores the recorded request.
+	p.Request(2, 1)
+	p.Unthrottle(2)
+	eng.RunAll()
+	if got := p.Cores[2].PState(); got != 1 {
+		t.Fatalf("core at P%d after unthrottle, want the recorded P1", got)
+	}
+}
+
+// On a chip-wide part the clamp binds only the throttled physical core;
+// the rest of the package still follows the coordination rule.
+func TestThrottleChipWideBindsOneCore(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewProcessor(I76700, eng, sim.NewRNG(1))
+	p.RequestAll(1)
+	eng.RunAll()
+	p.Throttle(0, 3)
+	eng.RunAll()
+	if got := p.Cores[0].PState(); got != 3 {
+		t.Fatalf("throttled core at P%d, want P3", got)
+	}
+	for _, c := range p.Cores[1:] {
+		if c.PState() != 1 {
+			t.Fatalf("unthrottled core %d dragged to P%d", c.ID, c.PState())
+		}
+	}
+	p.Unthrottle(0)
+	eng.RunAll()
+	if got := p.Cores[0].PState(); got != 1 {
+		t.Fatalf("core 0 at P%d after unthrottle, want P1", got)
+	}
+}

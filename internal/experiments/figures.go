@@ -58,7 +58,7 @@ type TraceFigure struct {
 
 // RunTrace runs one traced configuration and samples the window
 // [warmup, warmup+window).
-func RunTrace(profile *workload.Profile, level workload.Level, policy, idle string, window sim.Duration, q Quality) TraceFigure {
+func RunTrace(profile *workload.Profile, level workload.Level, policy, idle string, window sim.Duration, q Quality) (TraceFigure, error) {
 	spec := Spec{
 		Policy: policy,
 		Idle:   idle,
@@ -72,10 +72,14 @@ func RunTrace(profile *workload.Profile, level workload.Level, policy, idle stri
 	}
 	s, err := Build(spec)
 	if err != nil {
-		panic(err)
+		return TraceFigure{}, err
 	}
 	tr := NewTrace(s, 0)
+	guardCell(nil, s)
 	res := s.Run()
+	if err := s.Err(); err != nil {
+		return TraceFigure{}, err
+	}
 
 	from := int(q.warmup() / sim.Millisecond)
 	n := int(window / sim.Millisecond)
@@ -99,33 +103,56 @@ func RunTrace(profile *workload.Profile, level workload.Level, policy, idle stri
 		CC6:     slice(tr.CC6Entry),
 		PState:  ps[from:],
 		Result:  res,
+	}, nil
+}
+
+// traceSet runs a list of trace configurations, stopping at the first
+// failure.
+func traceSet(q Quality, runs ...func(Quality) (TraceFigure, error)) ([]TraceFigure, error) {
+	out := make([]TraceFigure, 0, len(runs))
+	for _, run := range runs {
+		tf, err := run(q)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, tf)
 	}
+	return out, nil
 }
 
 // Fig2 reproduces Fig 2: ksoftirqd wake-ups, the ondemand P-state, and
 // the interrupt/polling packet split at high load for both apps.
-func Fig2(q Quality) []TraceFigure {
-	return []TraceFigure{
-		RunTrace(workload.Memcached(), workload.High, "ondemand", "menu", 500*sim.Millisecond, q),
-		RunTrace(workload.Nginx(), workload.High, "ondemand", "menu", 500*sim.Millisecond, q),
-	}
+func Fig2(q Quality) ([]TraceFigure, error) {
+	return traceSet(q,
+		func(q Quality) (TraceFigure, error) {
+			return RunTrace(workload.Memcached(), workload.High, "ondemand", "menu", 500*sim.Millisecond, q)
+		},
+		func(q Quality) (TraceFigure, error) {
+			return RunTrace(workload.Nginx(), workload.High, "ondemand", "menu", 500*sim.Millisecond, q)
+		})
 }
 
 // Fig9 reproduces Fig 9: the same view under NMAP.
-func Fig9(q Quality) []TraceFigure {
-	return []TraceFigure{
-		RunTrace(workload.Memcached(), workload.High, "nmap", "menu", 500*sim.Millisecond, q),
-		RunTrace(workload.Nginx(), workload.High, "nmap", "menu", 500*sim.Millisecond, q),
-	}
+func Fig9(q Quality) ([]TraceFigure, error) {
+	return traceSet(q,
+		func(q Quality) (TraceFigure, error) {
+			return RunTrace(workload.Memcached(), workload.High, "nmap", "menu", 500*sim.Millisecond, q)
+		},
+		func(q Quality) (TraceFigure, error) {
+			return RunTrace(workload.Nginx(), workload.High, "nmap", "menu", 500*sim.Millisecond, q)
+		})
 }
 
 // Fig7 reproduces Fig 7: CC6 entries and the packet split under the
 // menu governor at low and high memcached load (performance governor).
-func Fig7(q Quality) []TraceFigure {
-	return []TraceFigure{
-		RunTrace(workload.Memcached(), workload.Low, "performance", "menu", 500*sim.Millisecond, q),
-		RunTrace(workload.Memcached(), workload.High, "performance", "menu", 500*sim.Millisecond, q),
-	}
+func Fig7(q Quality) ([]TraceFigure, error) {
+	return traceSet(q,
+		func(q Quality) (TraceFigure, error) {
+			return RunTrace(workload.Memcached(), workload.Low, "performance", "menu", 500*sim.Millisecond, q)
+		},
+		func(q Quality) (TraceFigure, error) {
+			return RunTrace(workload.Memcached(), workload.High, "performance", "menu", 500*sim.Millisecond, q)
+		})
 }
 
 // ---------------------------------------------------------------------
@@ -147,7 +174,7 @@ type LatencyFigure struct {
 
 // RunLatency runs one configuration and extracts the Fig-3-style
 // scatter and Fig-4-style CDF.
-func RunLatency(profile *workload.Profile, level workload.Level, policy, idle string, q Quality) LatencyFigure {
+func RunLatency(profile *workload.Profile, level workload.Level, policy, idle string, q Quality) (LatencyFigure, error) {
 	spec := Spec{
 		Policy: policy,
 		Idle:   idle,
@@ -161,10 +188,14 @@ func RunLatency(profile *workload.Profile, level workload.Level, policy, idle st
 	}
 	s, err := Build(spec)
 	if err != nil {
-		panic(err)
+		return LatencyFigure{}, err
 	}
 	tr := NewTrace(s, 0)
+	guardCell(nil, s)
 	res := s.Run()
+	if err := s.Err(); err != nil {
+		return LatencyFigure{}, err
+	}
 	from := sim.Time(q.warmup())
 	return LatencyFigure{
 		App:       profile.Name,
@@ -175,28 +206,36 @@ func RunLatency(profile *workload.Profile, level workload.Level, policy, idle st
 		CDF:       res.Hist.CDF(101),
 		FracUnder: res.Hist.FracLE(profile.SLO),
 		Result:    res,
-	}
+	}, nil
 }
 
 // Fig3And4 reproduces Figs 3 and 4: per-request latency and CDFs for
 // ondemand vs performance at high load on both applications.
-func Fig3And4(q Quality) []LatencyFigure {
+func Fig3And4(q Quality) ([]LatencyFigure, error) {
 	var out []LatencyFigure
 	for _, prof := range workload.Profiles() {
 		for _, pol := range []string{"ondemand", "performance"} {
-			out = append(out, RunLatency(prof, workload.High, pol, "menu", q))
+			lf, err := RunLatency(prof, workload.High, pol, "menu", q)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, lf)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Fig10And11 reproduces Figs 10 and 11: the same view under NMAP.
-func Fig10And11(q Quality) []LatencyFigure {
+func Fig10And11(q Quality) ([]LatencyFigure, error) {
 	var out []LatencyFigure
 	for _, prof := range workload.Profiles() {
-		out = append(out, RunLatency(prof, workload.High, "nmap", "menu", q))
+		lf, err := RunLatency(prof, workload.High, "nmap", "menu", q)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, lf)
 	}
-	return out
+	return out, nil
 }
 
 // ---------------------------------------------------------------------
@@ -237,7 +276,7 @@ type Fig8Point struct {
 // three sleep-state policies. Energy is reported raw; the caller
 // normalises to menu as the paper does. Cells run on the harness worker
 // pool in deterministic order.
-func Fig8(q Quality) []Fig8Point {
+func Fig8(q Quality) ([]Fig8Point, error) {
 	prof := workload.Memcached()
 	loads := []float64{30_000, 150_000, 290_000, 450_000, 600_000, 750_000}
 	if q == Quick {
@@ -259,13 +298,16 @@ func Fig8(q Quality) []Fig8Point {
 			})
 		}
 	}
-	results := mustRunSpecs(specs)
+	results, err := RunSpecs(specs)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Fig8Point, len(specs))
 	for i, res := range results {
 		out[i] = Fig8Point{RPS: specs[i].Cfg.RPS, Idle: specs[i].Idle,
 			P99: res.Summary.P99, EnergyJ: res.EnergyJ}
 	}
-	return out
+	return out, nil
 }
 
 // ---------------------------------------------------------------------
@@ -285,7 +327,7 @@ type MatrixCell struct {
 // and load levels on both applications. Cells fan out over the harness
 // worker pool; the returned slice is in the serial cross-product order
 // and is byte-for-byte independent of the fan-out.
-func RunMatrix(policies, idles []string, q Quality) []MatrixCell {
+func RunMatrix(policies, idles []string, q Quality) ([]MatrixCell, error) {
 	var specs []Spec
 	var meta []MatrixCell
 	for _, prof := range workload.Profiles() {
@@ -310,16 +352,19 @@ func RunMatrix(policies, idles []string, q Quality) []MatrixCell {
 			}
 		}
 	}
-	results := mustRunSpecs(specs)
+	results, err := RunSpecs(specs)
+	if err != nil {
+		return nil, err
+	}
 	for i := range meta {
 		meta[i].Result = results[i]
 	}
-	return meta
+	return meta, nil
 }
 
 // Fig12And13 reproduces the Fig 12 (P99) and Fig 13 (energy) matrix:
 // five V/F policies × three sleep policies × three loads × two apps.
-func Fig12And13(q Quality) []MatrixCell {
+func Fig12And13(q Quality) ([]MatrixCell, error) {
 	idles := []string{"menu", "disable", "c6only"}
 	if q == Quick {
 		idles = []string{"menu"}
@@ -331,7 +376,7 @@ func Fig12And13(q Quality) []MatrixCell {
 
 // Fig14And15 reproduces the Fig 14 (P99, SLO-normalised) and Fig 15
 // (energy) comparison with the state-of-the-art baselines.
-func Fig14And15(q Quality) []MatrixCell {
+func Fig14And15(q Quality) ([]MatrixCell, error) {
 	return RunMatrix(
 		[]string{"ncap-menu", "ncap", "nmap-simpl", "nmap", "performance"},
 		[]string{"menu"}, q)
@@ -352,7 +397,7 @@ type Fig16Result struct {
 
 // Fig16 runs memcached with the load switching uniformly among the
 // three levels every 500ms for 5 seconds, comparing NMAP and Parties.
-func Fig16(q Quality) []Fig16Result {
+func Fig16(q Quality) ([]Fig16Result, error) {
 	prof := workload.Memcached()
 	dur := 5 * sim.Duration(sim.Second)
 	if q == Quick {
@@ -374,10 +419,14 @@ func Fig16(q Quality) []Fig16Result {
 		}
 		s, err := Build(spec)
 		if err != nil {
-			panic(err)
+			return out, err
 		}
 		tr := NewTrace(s, 0)
+		guardCell(nil, s)
 		res := s.Run()
+		if err := s.Err(); err != nil {
+			return out, err
+		}
 		from := sim.Time(q.warmup())
 		ps := tr.PStateSeries(from + sim.Time(dur))
 		out = append(out, Fig16Result{
@@ -388,7 +437,7 @@ func Fig16(q Quality) []Fig16Result {
 			Result:      res,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // ---------------------------------------------------------------------
@@ -414,7 +463,7 @@ type AblationCell struct {
 // per-request policy issues orders of magnitude more V/F writes than
 // ever take effect, so its fine-grained decisions are simply not
 // reflected by the processor).
-func AblationPerRequest(q Quality) []AblationCell {
+func AblationPerRequest(q Quality) ([]AblationCell, error) {
 	prof := workload.Memcached()
 	cfg := server.Config{
 		Seed: defaultSeed, Profile: prof, Level: workload.High,
@@ -424,8 +473,12 @@ func AblationPerRequest(q Quality) []AblationCell {
 	for _, pol := range []string{"nmap", "ondemand"} {
 		specs = append(specs, Spec{Policy: pol, Idle: "menu", Cfg: cfg})
 	}
+	results, err := RunSpecs(specs)
+	if err != nil {
+		return nil, err
+	}
 	var out []AblationCell
-	for i, res := range mustRunSpecs(specs) {
+	for i, res := range results {
 		out = append(out, AblationCell{
 			Name: specs[i].Policy, P99: res.Summary.P99, EnergyJ: res.EnergyJ,
 			Transitions: res.Transitions, Violated: res.Violated,
@@ -438,17 +491,21 @@ func AblationPerRequest(q Quality) []AblationCell {
 	pr := baselines.NewPerRequest(s.Eng, s.Proc, s.Kernels)
 	s.AddListener(pr)
 	s.AttachPolicy(pr)
+	guardCell(nil, s)
 	res := s.Run()
+	if err := s.Err(); err != nil {
+		return out, err
+	}
 	out = append(out, AblationCell{
 		Name: "perrequest", P99: res.Summary.P99, EnergyJ: res.EnergyJ,
 		Attempts: pr.Requests, Transitions: res.Transitions, Violated: res.Violated,
 	})
-	return out
+	return out, nil
 }
 
 // AblationThresholds sweeps NI_TH around the profiled value to show the
 // detection-latency/energy trade-off.
-func AblationThresholds(q Quality) []AblationCell {
+func AblationThresholds(q Quality) ([]AblationCell, error) {
 	prof := workload.Memcached()
 	base := ProfiledThresholds(prof, 1042)
 	mults := []float64{0.25, 0.5, 1, 2, 4}
@@ -466,19 +523,23 @@ func AblationThresholds(q Quality) []AblationCell {
 			},
 		}
 	}
+	results, err := RunSpecs(specs)
+	if err != nil {
+		return nil, err
+	}
 	var out []AblationCell
-	for i, res := range mustRunSpecs(specs) {
+	for i, res := range results {
 		out = append(out, AblationCell{
 			Name: "NI_TH x" + ftoa(mults[i]), P99: res.Summary.P99,
 			EnergyJ: res.EnergyJ, Transitions: res.Transitions, Violated: res.Violated,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // AblationChipWide contrasts per-core NMAP with a chip-wide variant
 // (the §6.3 argument for why NMAP beats NCAP).
-func AblationChipWide(q Quality) []AblationCell {
+func AblationChipWide(q Quality) ([]AblationCell, error) {
 	prof := workload.Memcached()
 	var specs []Spec
 	var names []string
@@ -498,20 +559,24 @@ func AblationChipWide(q Quality) []AblationCell {
 			},
 		})
 	}
+	results, err := RunSpecs(specs)
+	if err != nil {
+		return nil, err
+	}
 	var out []AblationCell
-	for i, res := range mustRunSpecs(specs) {
+	for i, res := range results {
 		out = append(out, AblationCell{
 			Name: names[i], P99: res.Summary.P99, EnergyJ: res.EnergyJ,
 			Transitions: res.Transitions, Violated: res.Violated,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // AblationExtensions compares stock NMAP against the two future-work
 // extensions: online threshold tuning (no offline profiling) and
 // sleep-state integration.
-func AblationExtensions(q Quality) []AblationCell {
+func AblationExtensions(q Quality) ([]AblationCell, error) {
 	prof := workload.Memcached()
 	var specs []Spec
 	for _, pol := range []string{"nmap", "nmap-online", "nmap-sleep"} {
@@ -524,20 +589,24 @@ func AblationExtensions(q Quality) []AblationCell {
 			},
 		})
 	}
+	results, err := RunSpecs(specs)
+	if err != nil {
+		return nil, err
+	}
 	var out []AblationCell
-	for i, res := range mustRunSpecs(specs) {
+	for i, res := range results {
 		out = append(out, AblationCell{
 			Name: specs[i].Policy, P99: res.Summary.P99, EnergyJ: res.EnergyJ,
 			Transitions: res.Transitions, Violated: res.Violated,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // AblationRSS shows why per-core DVFS beats chip-wide when RSS is
 // lumpy (§6.3): with few client connections the per-queue loads differ,
 // so pulling every core to the hottest core's frequency wastes energy.
-func AblationRSS(q Quality) []AblationCell {
+func AblationRSS(q Quality) ([]AblationCell, error) {
 	prof := workload.Memcached()
 	var specs []Spec
 	var names []string
@@ -564,20 +633,24 @@ func AblationRSS(q Quality) []AblationCell {
 			})
 		}
 	}
+	results, err := RunSpecs(specs)
+	if err != nil {
+		return nil, err
+	}
 	var out []AblationCell
-	for i, res := range mustRunSpecs(specs) {
+	for i, res := range results {
 		out = append(out, AblationCell{
 			Name: names[i], P99: res.Summary.P99, EnergyJ: res.EnergyJ,
 			Transitions: res.Transitions, Violated: res.Violated,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // AblationITR sweeps the NIC interrupt-throttle period: the ITR sets
 // how often the NAPI mode counters get a fresh interrupt window and how
 // bursty the hardirq load is, so it bounds NMAP's detection texture.
-func AblationITR(q Quality) []AblationCell {
+func AblationITR(q Quality) ([]AblationCell, error) {
 	prof := workload.Memcached()
 	var specs []Spec
 	for _, itr := range []sim.Duration{5 * sim.Microsecond, 10 * sim.Microsecond,
@@ -592,14 +665,18 @@ func AblationITR(q Quality) []AblationCell {
 			},
 		})
 	}
+	results, err := RunSpecs(specs)
+	if err != nil {
+		return nil, err
+	}
 	var out []AblationCell
-	for i, res := range mustRunSpecs(specs) {
+	for i, res := range results {
 		out = append(out, AblationCell{
 			Name: "ITR=" + specs[i].Cfg.ITR.String(), P99: res.Summary.P99, EnergyJ: res.EnergyJ,
 			Transitions: res.Transitions, Violated: res.Violated,
 		})
 	}
-	return out
+	return out, nil
 }
 
 func ftoa(f float64) string {

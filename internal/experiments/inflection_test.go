@@ -11,7 +11,10 @@ func TestFindInflectionLocatesKnee(t *testing.T) {
 		t.Skip("sweep is slow")
 	}
 	prof := workload.Memcached()
-	inf := FindInflection(prof, 100_000, 900_000, 5, 5, Quick)
+	inf, err := FindInflection(prof, 100_000, 900_000, 5, 5, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(inf.Curve) != 5 {
 		t.Fatalf("curve points = %d", len(inf.Curve))
 	}
@@ -32,7 +35,10 @@ func TestFindInflectionNoKneeFallsBack(t *testing.T) {
 	}
 	prof := workload.Memcached()
 	// Sweep entirely in the flat region: no knee → last point reported.
-	inf := FindInflection(prof, 10_000, 50_000, 3, 50, Quick)
+	inf, err := FindInflection(prof, 10_000, 50_000, 3, 50, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if inf.RPS != 50_000 {
 		t.Fatalf("fallback knee at %.0f, want the range end", inf.RPS)
 	}

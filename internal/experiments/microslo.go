@@ -50,7 +50,7 @@ type MicroSLOCell struct {
 // NMAP extension. The expected §8 shape: deep sleep now costs tail
 // latency, disable buys it back with energy, and the integrated policy
 // sits in between.
-func AblationMicroSLO(q Quality) []MicroSLOCell {
+func AblationMicroSLO(q Quality) ([]MicroSLOCell, error) {
 	prof := MicroService()
 	var specs []Spec
 	add := func(policy, idle string) {
@@ -67,12 +67,16 @@ func AblationMicroSLO(q Quality) []MicroSLOCell {
 		add("performance", idle)
 	}
 	add("nmap-sleep", "c6only")
+	results, err := RunSpecs(specs)
+	if err != nil {
+		return nil, err
+	}
 	var out []MicroSLOCell
-	for i, res := range mustRunSpecs(specs) {
+	for i, res := range results {
 		out = append(out, MicroSLOCell{
 			Policy: specs[i].Policy, Idle: specs[i].Idle,
 			P99: res.Summary.P99, Violated: res.Violated, EnergyJ: res.EnergyJ,
 		})
 	}
-	return out
+	return out, nil
 }

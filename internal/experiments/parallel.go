@@ -1,11 +1,15 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nmapsim/internal/server"
+	"nmapsim/internal/sim"
 )
 
 // The harness fans independent simulation cells out over a bounded worker
@@ -91,28 +95,109 @@ func forEach(n int, fn func(i int)) {
 	}
 }
 
-// RunSpecs runs every spec on the worker pool and returns the results in
-// input order. The first assembly error (unknown policy or idle name)
-// aborts the sweep; cells already in flight still finish.
-func RunSpecs(specs []Spec) ([]server.Result, error) {
-	results := make([]server.Result, len(specs))
-	errs := make([]error, len(specs))
-	forEach(len(specs), func(i int) {
-		results[i], errs[i] = Run(specs[i])
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+var runTimeout atomic.Int64 // per-cell wall-clock budget in ns; 0 = none
+
+// SetRunTimeout bounds the wall-clock time of each simulation cell: a
+// cell exceeding d is aborted through the engine and surfaces as that
+// cell's error instead of hanging the sweep. d <= 0 removes the bound.
+func SetRunTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
 	}
-	return results, nil
+	runTimeout.Store(int64(d))
 }
 
-// mustRunSpecs is RunSpecs for fixed, known-good specs.
-func mustRunSpecs(specs []Spec) []server.Result {
-	results, err := RunSpecs(specs)
+// RunTimeout returns the per-cell wall-clock budget (0 = none).
+func RunTimeout() time.Duration { return time.Duration(runTimeout.Load()) }
+
+// runCell builds and runs one spec under the harness guard rails: the
+// context and the per-cell wall-clock budget are checked from inside
+// the engine (a simulated-millisecond ticker on the cell's own
+// goroutine, so there is no cross-goroutine engine access), and either
+// aborts the run with a diagnostic. The ticker draws no randomness and
+// touches no model state, so an unguarded cell and a guarded one
+// produce byte-identical physics.
+func runCell(ctx context.Context, spec Spec) (server.Result, error) {
+	s, err := Build(spec)
 	if err != nil {
-		panic(err)
+		return server.Result{}, err
 	}
-	return results
+	guardCell(ctx, s)
+	res := s.Run()
+	return res, s.Err()
+}
+
+// guardCell attaches the harness guard ticker to a built server (see
+// runCell). Figure runners that build servers by hand — to attach
+// tracers before running — call this so `-cell-timeout` and context
+// cancellation cover every run, not just the RunSpecs sweeps.
+func guardCell(ctx context.Context, s *server.Server) {
+	budget := RunTimeout()
+	cancellable := ctx != nil && ctx.Done() != nil
+	if !cancellable && budget <= 0 {
+		return
+	}
+	start := time.Now()
+	s.Eng.Ticker(sim.Millisecond, func() {
+		if ctx != nil && ctx.Err() != nil {
+			s.Eng.Abort(fmt.Errorf("experiments: run canceled at %v: %w", s.Eng.Now(), ctx.Err()))
+			return
+		}
+		if budget > 0 && time.Since(start) > budget {
+			s.Eng.Abort(fmt.Errorf("experiments: run exceeded the %v wall-clock budget at %v", budget, s.Eng.Now()))
+		}
+	})
+}
+
+// CellResult is one cell of a checkpointed sweep.
+type CellResult struct {
+	// Result is the cell's outcome — partial if Err is non-nil, zero if
+	// the cell never started (Done false).
+	Result server.Result
+	// Err is why the cell failed (assembly error, watchdog, timeout, or
+	// cancellation); nil for a clean run.
+	Err error
+	// Done reports whether the cell ran to completion.
+	Done bool
+}
+
+// RunSpecsCtx runs every spec on the worker pool with checkpointing:
+// every cell's outcome is recorded in input order even when some fail,
+// so a failed or canceled sweep keeps the cells that did finish. Once
+// ctx is canceled no new cell starts (in-flight cells abort at their
+// next simulated millisecond). The returned error is the first cell
+// error in input order, or ctx.Err() if the sweep was cut short — the
+// partial results are returned either way.
+func RunSpecsCtx(ctx context.Context, specs []Spec) ([]CellResult, error) {
+	cells := make([]CellResult, len(specs))
+	forEach(len(specs), func(i int) {
+		if ctx != nil && ctx.Err() != nil {
+			cells[i].Err = ctx.Err()
+			return
+		}
+		res, err := runCell(ctx, specs[i])
+		cells[i] = CellResult{Result: res, Err: err, Done: err == nil}
+	})
+	if ctx != nil && ctx.Err() != nil {
+		return cells, ctx.Err()
+	}
+	for _, c := range cells {
+		if c.Err != nil {
+			return cells, c.Err
+		}
+	}
+	return cells, nil
+}
+
+// RunSpecs runs every spec on the worker pool and returns the results
+// in input order. On error the completed cells are still returned
+// (failed or never-started cells hold the zero Result) alongside the
+// first error in input order.
+func RunSpecs(specs []Spec) ([]server.Result, error) {
+	cells, err := RunSpecsCtx(context.Background(), specs)
+	results := make([]server.Result, len(cells))
+	for i, c := range cells {
+		results[i] = c.Result
+	}
+	return results, err
 }

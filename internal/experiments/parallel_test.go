@@ -50,10 +50,18 @@ func TestRunMatrixParallelDeterminism(t *testing.T) {
 
 	var serial, parallel []byte
 	withParallelism(t, 1, func() {
-		serial = encode(t, RunMatrix(policies, idles, Quick))
+		cells, err := RunMatrix(policies, idles, Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = encode(t, cells)
 	})
 	withParallelism(t, 8, func() {
-		parallel = encode(t, RunMatrix(policies, idles, Quick))
+		cells, err := RunMatrix(policies, idles, Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel = encode(t, cells)
 	})
 	if !bytes.Equal(serial, parallel) {
 		t.Fatalf("RunMatrix output differs between serial and 8-way parallel runs:\nserial:   %.400s\nparallel: %.400s",

@@ -68,8 +68,14 @@ func TestReactionNMAPFasterThanOndemand(t *testing.T) {
 		t.Skip("trace runs are slow")
 	}
 	window := 300 * sim.Millisecond
-	od := RunTrace(workload.Memcached(), workload.High, "ondemand", "menu", window, Quick)
-	nm := RunTrace(workload.Memcached(), workload.High, "nmap", "menu", window, Quick)
+	od, err := RunTrace(workload.Memcached(), workload.High, "ondemand", "menu", window, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := RunTrace(workload.Memcached(), workload.High, "nmap", "menu", window, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rtOD := od.ReactionTimes(5)
 	rtNM := nm.ReactionTimes(5)
 	if rtNM.Bursts == 0 || rtOD.Bursts == 0 {

@@ -176,7 +176,10 @@ func TestAblationMicroSLOShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	cells := AblationMicroSLO(Quick)
+	cells, err := AblationMicroSLO(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	byKey := map[string]MicroSLOCell{}
 	for _, c := range cells {
 		byKey[c.Policy+"/"+c.Idle] = c

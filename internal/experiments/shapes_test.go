@@ -174,7 +174,10 @@ func TestShapeSwitchingLoadNMAPvsParties(t *testing.T) {
 	if testing.Short() {
 		t.Skip("shape tests are slow")
 	}
-	res := Fig16(Quick)
+	res, err := Fig16(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var nm, parties Fig16Result
 	for _, r := range res {
 		if r.Policy == "nmap" {
@@ -198,7 +201,10 @@ func TestShapePerRequestDVFSPaysReTransitions(t *testing.T) {
 	if testing.Short() {
 		t.Skip("shape tests are slow")
 	}
-	cells := AblationPerRequest(Quick)
+	cells, err := AblationPerRequest(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var nm, pr AblationCell
 	for _, c := range cells {
 		switch c.Name {

@@ -11,6 +11,8 @@ import (
 
 	"nmapsim/internal/baselines"
 	"nmapsim/internal/core"
+	"nmapsim/internal/cpu"
+	"nmapsim/internal/faults"
 	"nmapsim/internal/governor"
 	"nmapsim/internal/server"
 	"nmapsim/internal/sim"
@@ -86,15 +88,43 @@ func ProfiledThresholds(profile *workload.Profile, seed uint64) core.Thresholds 
 		s.AttachPolicy(governor.NewStack(s.Eng, s.Proc, governor.Ondemand{Model: s.Cfg.Model}, 0))
 		prof := core.NewProfiler(s.Eng)
 		s.AddListener(prof)
+		guardCell(nil, s)
 		s.Run()
 		ent.th = prof.Thresholds()
 	})
 	return ent.th
 }
 
+// Package-level injection defaults: the fault/retry configuration the
+// CLIs set once from their -faults/-rto flags. Build applies them to
+// every spec that does not carry its own, so the whole figure harness
+// runs under injection without threading the config through every
+// signature. Both default to zero — no faults, no retries.
+var (
+	injMu     sync.RWMutex
+	injFaults faults.Config
+	injRetry  workload.RetryConfig
+)
+
+// SetInjection installs the package-default fault and retry
+// configuration applied to specs that do not set their own.
+func SetInjection(f faults.Config, r workload.RetryConfig) {
+	injMu.Lock()
+	injFaults, injRetry = f, r
+	injMu.Unlock()
+}
+
+// Injection returns the package-default fault and retry configuration.
+func Injection() (faults.Config, workload.RetryConfig) {
+	injMu.RLock()
+	defer injMu.RUnlock()
+	return injFaults, injRetry
+}
+
 // Build assembles the server and its policy without running it, so
-// callers can attach tracers first. The returned cleanup is currently a
-// no-op but kept for symmetry with future resources.
+// callers can attach tracers first. The spec's configuration is
+// validated here — an invalid NIC/kernel/CPU parameter surfaces as a
+// descriptive error instead of a panic deep inside the run.
 func Build(spec Spec) (*server.Server, error) {
 	idleName := spec.Idle
 	if idleName == "" {
@@ -106,6 +136,26 @@ func Build(spec Spec) (*server.Server, error) {
 	}
 
 	cfg := spec.Cfg
+	f, r := Injection()
+	if !cfg.Faults.Enabled() {
+		cfg.Faults = f
+	}
+	if !cfg.Retry.Enabled() {
+		cfg.Retry = r
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Policy == "userspace" {
+		m := cfg.Model
+		if m == nil {
+			m = cpu.XeonGold6134
+		}
+		if spec.UserspaceP < 0 || spec.UserspaceP > m.MaxP() {
+			return nil, fmt.Errorf("experiments: userspace P-state %d out of range for %s (max P%d)",
+				spec.UserspaceP, m.Name, m.MaxP())
+		}
+	}
 	switch spec.Policy {
 	case "ncap", "ncap-menu":
 		// NCAP is a chip-wide design.
@@ -209,13 +259,15 @@ func ncapThreshold(p *workload.Profile) float64 {
 	return math.Sqrt(lo * med)
 }
 
-// Run builds and runs one spec.
+// Run builds and runs one spec. A watchdog or harness abort mid-run
+// surfaces as an error alongside the partial result collected so far.
 func Run(spec Spec) (server.Result, error) {
 	s, err := Build(spec)
 	if err != nil {
 		return server.Result{}, err
 	}
-	return s.Run(), nil
+	res := s.Run()
+	return res, s.Err()
 }
 
 // MustRun is Run with a panic on assembly errors (experiment tables use

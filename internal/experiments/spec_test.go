@@ -87,8 +87,11 @@ func TestProfiledThresholdsCached(t *testing.T) {
 }
 
 func TestTraceCapturesSeries(t *testing.T) {
-	tf := RunTrace(workload.Memcached(), workload.High, "ondemand", "menu",
+	tf, err := RunTrace(workload.Memcached(), workload.High, "ondemand", "menu",
 		100*sim.Millisecond, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tf.Ms != 100 {
 		t.Fatalf("trace bins = %d, want 100", tf.Ms)
 	}

@@ -1,0 +1,288 @@
+// Package faults is the deterministic fault-injection subsystem of the
+// reproduction. Every injectable fault — wire packet loss, lost or late
+// interrupts, DMA jitter, transient per-core frequency throttling — is
+// drawn from a dedicated seeded PRNG inside simulation-event order, so
+// the same seed and the same fault configuration reproduce the same
+// fault schedule byte-for-byte regardless of harness parallelism.
+//
+// The zero-cost contract: a nil *Injector (or one built from a zero
+// Config) never touches its PRNG and never allocates, so the zero-fault
+// datapath is byte-identical to a build without the package. Datapath
+// code therefore calls the decision methods unconditionally; each is
+// nil-receiver-safe and returns the "no fault" answer immediately when
+// the corresponding knob is off.
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"nmapsim/internal/sim"
+)
+
+// Config enables and parameterises each fault class. The zero value
+// injects nothing.
+type Config struct {
+	// WireLossProb is the probability that one network traversal (a
+	// client→server request or a server→client response) silently loses
+	// the packet. Recovery is the client's retry loop.
+	WireLossProb float64
+	// IRQLossProb is the probability that a raised NIC interrupt never
+	// reaches the core (a lost MSI write). The queue keeps its IRQ
+	// unmasked, so a later packet arrival — typically a client
+	// retransmission — re-raises it.
+	IRQLossProb float64
+	// IRQJitter is the mean of the exponential extra delay added to
+	// every interrupt delivery (late interrupts). Zero adds none.
+	IRQJitter sim.Duration
+	// DMAJitter is the mean of the exponential extra latency added to
+	// every packet's wire-to-ring DMA. Zero adds none.
+	DMAJitter sim.Duration
+	// ThrottleRate is the mean rate, in events per second of simulated
+	// time, of transient thermal-style throttle events. Each event
+	// clamps one uniformly chosen core to ThrottlePState (or slower)
+	// for an exponentially distributed duration. Zero disables.
+	ThrottleRate float64
+	// ThrottleDuration is the mean duration of one throttle event;
+	// defaults to 10ms when ThrottleRate is set and this is zero.
+	ThrottleDuration sim.Duration
+	// ThrottlePState is the P-state index throttled cores are clamped
+	// to (they may run slower, never faster). Zero clamps to the
+	// model's slowest state; the server assembly resolves that index.
+	ThrottlePState int
+}
+
+// Enabled reports whether any fault class is active.
+func (c Config) Enabled() bool {
+	return c.WireLossProb > 0 || c.IRQLossProb > 0 ||
+		c.IRQJitter > 0 || c.DMAJitter > 0 || c.ThrottleRate > 0
+}
+
+// Validate rejects out-of-range parameters with a descriptive error.
+func (c Config) Validate() error {
+	if c.WireLossProb < 0 || c.WireLossProb >= 1 {
+		return fmt.Errorf("faults: wire loss probability %g outside [0, 1)", c.WireLossProb)
+	}
+	if c.IRQLossProb < 0 || c.IRQLossProb >= 1 {
+		return fmt.Errorf("faults: IRQ loss probability %g outside [0, 1)", c.IRQLossProb)
+	}
+	if c.IRQJitter < 0 {
+		return fmt.Errorf("faults: negative IRQ jitter %v", c.IRQJitter)
+	}
+	if c.DMAJitter < 0 {
+		return fmt.Errorf("faults: negative DMA jitter %v", c.DMAJitter)
+	}
+	if c.ThrottleRate < 0 {
+		return fmt.Errorf("faults: negative throttle rate %g", c.ThrottleRate)
+	}
+	if c.ThrottleDuration < 0 {
+		return fmt.Errorf("faults: negative throttle duration %v", c.ThrottleDuration)
+	}
+	if c.ThrottlePState < 0 {
+		return fmt.Errorf("faults: negative throttle P-state %d", c.ThrottlePState)
+	}
+	return nil
+}
+
+// Stats counts the faults actually injected over a run. It is part of
+// server.Result, so fault schedules participate in the byte-for-byte
+// determinism regression gates.
+type Stats struct {
+	// WireDrops counts packets lost on the wire (both directions).
+	WireDrops uint64
+	// IRQsLost counts interrupts that never reached their core.
+	IRQsLost uint64
+	// Throttles counts throttle events begun.
+	Throttles uint64
+}
+
+// Injector draws fault decisions for one run. All methods are
+// nil-receiver-safe and draw from the PRNG only when the corresponding
+// fault class is enabled, which is what keeps the zero-fault path
+// byte-identical to a faultless build.
+type Injector struct {
+	cfg   Config
+	rng   *sim.RNG
+	stats Stats
+}
+
+// New builds an injector, or returns nil when cfg injects nothing —
+// callers hold the nil and every decision method short-circuits.
+func New(cfg Config, rng *sim.RNG) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &Injector{cfg: cfg, rng: rng}
+}
+
+// Config returns the injector's configuration (zero for nil).
+func (i *Injector) Config() Config {
+	if i == nil {
+		return Config{}
+	}
+	return i.cfg
+}
+
+// Stats returns the cumulative injection counts (zero for nil).
+func (i *Injector) Stats() Stats {
+	if i == nil {
+		return Stats{}
+	}
+	return i.stats
+}
+
+// DropWire decides whether one network traversal loses its packet.
+func (i *Injector) DropWire() bool {
+	if i == nil || i.cfg.WireLossProb <= 0 {
+		return false
+	}
+	if i.rng.Float64() < i.cfg.WireLossProb {
+		i.stats.WireDrops++
+		return true
+	}
+	return false
+}
+
+// DropIRQ decides whether a raised interrupt is lost in delivery.
+func (i *Injector) DropIRQ() bool {
+	if i == nil || i.cfg.IRQLossProb <= 0 {
+		return false
+	}
+	if i.rng.Float64() < i.cfg.IRQLossProb {
+		i.stats.IRQsLost++
+		return true
+	}
+	return false
+}
+
+// IRQJitter samples the extra delivery delay for one interrupt.
+func (i *Injector) IRQJitter() sim.Duration {
+	if i == nil || i.cfg.IRQJitter <= 0 {
+		return 0
+	}
+	return i.rng.ExpDur(i.cfg.IRQJitter)
+}
+
+// DMAJitter samples the extra DMA latency for one packet.
+func (i *Injector) DMAJitter() sim.Duration {
+	if i == nil || i.cfg.DMAJitter <= 0 {
+		return 0
+	}
+	return i.rng.ExpDur(i.cfg.DMAJitter)
+}
+
+// StartThrottler arms the transient-throttle process on the engine:
+// exponentially spaced events each clamp one uniformly chosen core
+// (clamp), releasing it (unclamp) after an exponential hold time.
+// Overlapping events on the same core nest — the core is released only
+// when the last overlapping event expires. pstate is the resolved clamp
+// target the assembly derived from Config.ThrottlePState.
+func (i *Injector) StartThrottler(eng *sim.Engine, cores int, pstate int, clamp func(core, pstate int), unclamp func(core int)) {
+	if i == nil || i.cfg.ThrottleRate <= 0 || cores <= 0 {
+		return
+	}
+	meanGap := sim.Duration(1e9 / i.cfg.ThrottleRate)
+	meanDur := i.cfg.ThrottleDuration
+	if meanDur <= 0 {
+		meanDur = 10 * sim.Millisecond
+	}
+	active := make([]int, cores)
+	var fire func()
+	fire = func() {
+		core := i.rng.Intn(cores)
+		hold := i.rng.ExpDur(meanDur)
+		i.stats.Throttles++
+		active[core]++
+		clamp(core, pstate)
+		eng.Schedule(hold, func() {
+			active[core]--
+			if active[core] == 0 {
+				unclamp(core)
+			}
+		})
+		eng.Schedule(i.rng.ExpDur(meanGap), fire)
+	}
+	eng.Schedule(i.rng.ExpDur(meanGap), fire)
+}
+
+// ParseSpec parses the CLI fault specification: a comma-separated list
+// of key=value settings.
+//
+//	loss=P            wire loss probability (both directions)
+//	irqloss=P         interrupt loss probability
+//	irqjitter=DUR     mean extra interrupt delivery delay (e.g. 5us)
+//	dmajitter=DUR     mean extra DMA latency
+//	throttle=R/DUR    throttle events per second / mean hold time,
+//	                  with an optional clamp P-state: throttle=5/20ms@12
+//
+// An empty spec returns the zero Config.
+func ParseSpec(spec string) (Config, error) {
+	var c Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return c, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return c, fmt.Errorf("faults: %q is not key=value", part)
+		}
+		var err error
+		switch key {
+		case "loss":
+			c.WireLossProb, err = strconv.ParseFloat(val, 64)
+		case "irqloss":
+			c.IRQLossProb, err = strconv.ParseFloat(val, 64)
+		case "irqjitter":
+			c.IRQJitter, err = parseDur(val)
+		case "dmajitter":
+			c.DMAJitter, err = parseDur(val)
+		case "throttle":
+			err = c.parseThrottle(val)
+		default:
+			return c, fmt.Errorf("faults: unknown key %q (want loss, irqloss, irqjitter, dmajitter, throttle)", key)
+		}
+		if err != nil {
+			return c, fmt.Errorf("faults: bad %s value %q: %v", key, val, err)
+		}
+	}
+	return c, c.Validate()
+}
+
+// parseThrottle parses "RATE/DUR" with an optional "@PSTATE" suffix.
+func (c *Config) parseThrottle(val string) error {
+	if at := strings.LastIndexByte(val, '@'); at >= 0 {
+		p, err := strconv.Atoi(val[at+1:])
+		if err != nil {
+			return err
+		}
+		c.ThrottlePState = p
+		val = val[:at]
+	}
+	rate, dur, ok := strings.Cut(val, "/")
+	if !ok {
+		return fmt.Errorf("want RATE/DUR")
+	}
+	r, err := strconv.ParseFloat(rate, 64)
+	if err != nil {
+		return err
+	}
+	d, err := parseDur(dur)
+	if err != nil {
+		return err
+	}
+	c.ThrottleRate = r
+	c.ThrottleDuration = d
+	return nil
+}
+
+// parseDur parses a Go duration string into simulated nanoseconds.
+func parseDur(s string) (sim.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	return sim.Duration(d.Nanoseconds()), nil
+}

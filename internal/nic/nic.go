@@ -6,6 +6,7 @@
 package nic
 
 import (
+	"nmapsim/internal/faults"
 	"nmapsim/internal/sim"
 	"nmapsim/internal/workload"
 )
@@ -116,6 +117,16 @@ type NIC struct {
 	// poolOff disables recycling (the determinism debug knob): Get still
 	// serves from whatever is pooled, but Put becomes a no-op.
 	poolOff bool
+
+	// inj draws device-level fault decisions (DMA jitter, lost/late
+	// interrupts). nil when fault injection is off; every use is
+	// nil-receiver-safe, so the zero-fault path draws nothing.
+	inj *faults.Injector
+	// OnRxDrop is invoked for each packet the NIC drops on ring
+	// overflow, before the record is recycled, so the server can mark
+	// the payload's in-flight copy lost instead of leaking it. The
+	// packet must not be retained.
+	OnRxDrop func(*Packet)
 }
 
 // New builds a NIC.
@@ -202,11 +213,15 @@ func (n *NIC) QueueFor(flow uint64) int {
 	return int(h % uint64(n.cfg.Queues))
 }
 
-// Deliver injects a packet from the wire: after the DMA latency it lands
-// in the RSS-selected ring (or is dropped if the ring is full) and the
-// queue's interrupt logic runs.
+// SetInjector attaches the fault injector. Call before the run starts;
+// a nil injector (the default) injects nothing.
+func (n *NIC) SetInjector(inj *faults.Injector) { n.inj = inj }
+
+// Deliver injects a packet from the wire: after the DMA latency (plus
+// any injected jitter) it lands in the RSS-selected ring (or is dropped
+// if the ring is full) and the queue's interrupt logic runs.
 func (n *NIC) Deliver(p *Packet) {
-	n.eng.ScheduleArg(n.cfg.DMALatency, n.dmaFn, p)
+	n.eng.ScheduleArg(n.cfg.DMALatency+n.inj.DMAJitter(), n.dmaFn, p)
 }
 
 // dmaLand is Deliver's second half, scheduled through the bound dmaFn
@@ -219,6 +234,9 @@ func (n *NIC) dmaLand(a any) {
 	qu := n.qs[q]
 	if len(qu.ring) >= n.cfg.RingSize {
 		qu.drops++
+		if n.OnRxDrop != nil {
+			n.OnRxDrop(p)
+		}
 		n.PutPacket(p)
 		return
 	}
@@ -237,12 +255,20 @@ func (n *NIC) maybeInterrupt(q int) {
 	}
 	now := n.eng.Now()
 	if now >= qu.nextIRQ {
-		qu.irqEnabled = false // NAPI: the handler masks further IRQs
+		// The ITR window is consumed whether or not the MSI write makes
+		// it to the core. A lost interrupt deliberately leaves the queue
+		// unmasked: the device believes it fired, so recovery is the
+		// next packet arrival (typically a client retransmission)
+		// re-running this logic after the ITR slot.
 		qu.nextIRQ = now + sim.Time(n.cfg.ITR)
+		if n.inj.DropIRQ() {
+			return
+		}
+		qu.irqEnabled = false // NAPI: the handler masks further IRQs
 		qu.interrupts++
 		qu.irqTimer.Cancel()
 		h := n.handler[q]
-		n.eng.Schedule(n.cfg.IRQLatency, h)
+		n.eng.Schedule(n.cfg.IRQLatency+n.inj.IRQJitter(), h)
 		return
 	}
 	if !qu.irqTimer.Pending() {

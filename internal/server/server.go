@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"nmapsim/internal/cpu"
+	"nmapsim/internal/faults"
 	"nmapsim/internal/kernel"
 	"nmapsim/internal/nic"
 	"nmapsim/internal/sim"
@@ -72,6 +73,24 @@ type Config struct {
 	// machinery is physics-neutral. A seeded run must produce
 	// byte-identical Results with this on or off.
 	DisablePooling bool
+	// Faults configures deterministic fault injection. The zero value
+	// injects nothing and costs nothing: the injector is nil and the
+	// datapath draws no extra randomness, so zero-fault physics are
+	// byte-identical to a faultless build. The fault schedule is drawn
+	// from its own PRNG stream (derived from Seed but independent of
+	// the physics streams), so the same Seed+Faults pair reproduces the
+	// same schedule byte-for-byte.
+	Faults faults.Config
+	// Retry configures the client-side timeout/retransmission loop.
+	// The zero value disables it (the seed behaviour: a dropped request
+	// stays lost).
+	Retry workload.RetryConfig
+	// SockQCap bounds the per-core socket queue (0 = unlimited).
+	SockQCap int
+	// MaxEvents arms the engine watchdog: the run aborts with a
+	// diagnostic once this many events have fired (0 = unlimited). See
+	// Server.Err.
+	MaxEvents uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -111,7 +130,57 @@ func (c Config) withDefaults() Config {
 	if c.Duration == 0 {
 		c.Duration = sim.Duration(sim.Second)
 	}
+	c.Retry = c.Retry.WithDefaults()
 	return c
+}
+
+// Validate rejects configurations that would previously have panicked
+// deep inside a run (or silently misbehaved) with a descriptive error.
+// New applies defaults first, so zero values are always valid.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.NICRing < 0 {
+		return fmt.Errorf("server: negative NIC ring size %d (zero selects the default)", c.NICRing)
+	}
+	if c.ITR < 0 {
+		return fmt.Errorf("server: negative ITR %v", c.ITR)
+	}
+	if c.RPS < 0 {
+		return fmt.Errorf("server: negative offered load %g RPS", c.RPS)
+	}
+	if c.Flows < 0 {
+		return fmt.Errorf("server: negative flow count %d", c.Flows)
+	}
+	if c.NetLatency < 0 || c.NetJitter < 0 {
+		return fmt.Errorf("server: negative network latency/jitter %v/%v", c.NetLatency, c.NetJitter)
+	}
+	if c.Duration < 0 {
+		return fmt.Errorf("server: negative measurement duration %v", c.Duration)
+	}
+	if c.SockQCap < 0 {
+		return fmt.Errorf("server: negative socket-queue cap %d", c.SockQCap)
+	}
+	for _, l := range c.VariableLevels {
+		if l < 0 {
+			return fmt.Errorf("server: negative variable load level %g", l)
+		}
+	}
+	if len(c.VariableLevels) > 0 && c.SwitchPeriod <= 0 {
+		return fmt.Errorf("server: variable levels need a positive switch period, got %v", c.SwitchPeriod)
+	}
+	if k := c.Kernel; k.PollBudget < 0 || k.MaxPollPasses < 0 || k.SoftirqTimeLimit < 0 ||
+		k.IRQCycles < 0 || k.PollOverheadCycles < 0 || k.PerPktCycles < 0 ||
+		k.TxCleanCycles < 0 || k.TxCleanBudget < 0 || k.TickPeriod < 0 || k.SockQCap < 0 {
+		return fmt.Errorf("server: negative kernel cost parameter in %+v", k)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if c.Faults.ThrottlePState > c.Model.MaxP() {
+		return fmt.Errorf("server: throttle P-state %d out of range for %s (max P%d)",
+			c.Faults.ThrottlePState, c.Model.Name, c.Model.MaxP())
+	}
+	return c.Retry.Validate()
 }
 
 // Result summarises one run.
@@ -137,8 +206,41 @@ type Result struct {
 	// Transitions counts P-state transitions across all cores (whole
 	// run), for the re-transition ablations.
 	Transitions int64
+	// Reqs is the client-side request ledger for the whole run. Its
+	// identity — Issued == Completed + TimedOut + Lost + InFlight —
+	// must hold at the end of every run: no request is silently lost.
+	Reqs RequestAccounting
+	// Faults counts the faults actually injected (zero when injection
+	// is off).
+	Faults faults.Stats
+	// SockDrops counts socket-queue overflow drops across cores (only
+	// possible with Config.SockQCap set).
+	SockDrops uint64
 	// PerCore breaks the run down by core (whole-run cumulative).
 	PerCore []CoreStats
+}
+
+// RequestAccounting is the client-side ledger of every request issued
+// over a run (warmup included).
+type RequestAccounting struct {
+	// Issued counts requests the generator handed to the client.
+	Issued uint64
+	// Completed counts requests whose first response reached the client.
+	Completed uint64
+	// Retransmits counts extra transmissions the retry loop sent.
+	Retransmits uint64
+	// TimedOut counts requests abandoned after the retry budget ran out.
+	TimedOut uint64
+	// Lost counts requests dropped with no retry budget to recover them
+	// (retries disabled).
+	Lost uint64
+	// InFlight counts requests still live when the run ended.
+	InFlight uint64
+}
+
+// Consistent reports whether the ledger's identity holds.
+func (a RequestAccounting) Consistent() bool {
+	return a.Issued == a.Completed+a.TimedOut+a.Lost+a.InFlight
 }
 
 // CoreStats is the per-core view of a run.
@@ -196,6 +298,18 @@ type Server struct {
 	deliverFn func(any)
 	respFn    func(any)
 	txDoneFn  func(*nic.Packet)
+
+	// Fault injection and client-side recovery. inj is nil when
+	// Config.Faults is zero; retry is the defaults-applied retry config.
+	inj       *faults.Injector
+	retry     workload.RetryConfig
+	timeoutFn func(any)
+	acct      RequestAccounting
+	// live independently counts requests issued but not yet terminal
+	// (completed, timed out, or lost). It is tracked on its own rather
+	// than derived from the other counters so the accounting-identity
+	// test actually cross-checks something.
+	live uint64
 }
 
 // New assembles a server. The idle policy applies to every core; pass
@@ -230,10 +344,30 @@ func New(cfg Config, idle kernel.IdlePolicy) *Server {
 	s.deliverFn = func(a any) { s.NIC.Deliver(a.(*nic.Packet)) }
 	s.respFn = s.respond
 	s.txDoneFn = s.txDone
+	s.timeoutFn = s.onTimeout
+	s.retry = cfg.Retry
+	// The fault schedule draws from its own stream, derived from the
+	// seed but independent of every physics stream (the xor constant is
+	// the golden-ratio mix used by the RSS hash). Forking the main rng
+	// instead would shift all later physics draws and break the
+	// zero-fault byte-identity guarantee.
+	if cfg.Faults.Enabled() {
+		s.inj = faults.New(cfg.Faults, sim.NewRNG(cfg.Seed^0x9e3779b97f4a7c15))
+		s.NIC.SetInjector(s.inj)
+	}
+	if cfg.MaxEvents > 0 {
+		eng.SetWatchdog(cfg.MaxEvents, 0)
+	}
+	s.NIC.OnRxDrop = s.onRxDrop
+	kcfg := cfg.Kernel
+	if cfg.SockQCap > 0 && kcfg.SockQCap == 0 {
+		kcfg.SockQCap = cfg.SockQCap
+	}
 	for i, c := range s.Proc.Cores {
-		k := kernel.NewCoreKernel(i, eng, c, s.NIC, cfg.Kernel, idle)
+		k := kernel.NewCoreKernel(i, eng, c, s.NIC, kcfg, idle)
 		k.AppCycles = appCost
 		k.OnAppComplete = s.complete
+		k.OnSockDrop = s.dropCopy
 		s.Kernels = append(s.Kernels, k)
 	}
 	s.Gen = &workload.Generator{
@@ -276,17 +410,89 @@ func (s *Server) netDelay() sim.Duration {
 // built-in burst generator.
 func (s *Server) Ingress(r *workload.Request) { s.ingress(r) }
 
-// ingress carries a freshly generated request over the network into the
-// NIC. The packet record comes from the NIC's pool and the network hop
-// is scheduled against the bound deliver callback, so the steady-state
-// path allocates nothing.
+// ingress books a freshly generated request into the client ledger and
+// sends its first copy.
 func (s *Server) ingress(r *workload.Request) {
+	s.acct.Issued++
+	s.live++
+	s.send(r)
+}
+
+// send transmits one copy of r over the network into the NIC: arm the
+// retransmission timeout (when the retry loop is on), then either lose
+// the copy on the wire (injected) or schedule the network hop. The
+// packet record comes from the NIC's pool and the hop is scheduled
+// against the bound deliver callback, so the steady-state path
+// allocates nothing.
+func (s *Server) send(r *workload.Request) {
+	r.Attempts++
+	if s.retry.Enabled() {
+		r.Timer = s.Eng.ScheduleArg(s.retry.RTO(r.Attempts), s.timeoutFn, r)
+	}
+	r.Pending++
+	if s.inj.DropWire() {
+		s.dropCopy(r)
+		return
+	}
 	p := s.NIC.GetPacket()
 	p.ID = r.ID
 	p.Flow = r.Flow
 	p.Sent = r.Sent
 	p.Payload = r
 	s.Eng.ScheduleArg(s.netDelay(), s.deliverFn, p)
+}
+
+// onTimeout fires when a request's retransmission timeout expires:
+// retransmit with backoff while budget remains, otherwise give up and
+// mark the request timed out. Copies still inside the datapath keep the
+// record alive until they drain.
+func (s *Server) onTimeout(a any) {
+	r := a.(*workload.Request)
+	r.Timer = sim.Event{}
+	if r.Done != 0 {
+		return // completed; the response cancelled the timer anyway
+	}
+	if r.Attempts > s.retry.MaxRetries {
+		r.TimedOut = true
+		s.acct.TimedOut++
+		s.live--
+		s.maybeRecycle(r)
+		return
+	}
+	s.acct.Retransmits++
+	s.send(r)
+}
+
+// onRxDrop is the NIC's ring-overflow hook: the packet's in-flight copy
+// is gone, so account for it instead of leaking the request record.
+func (s *Server) onRxDrop(p *nic.Packet) {
+	if p.Payload != nil {
+		s.dropCopy(p.Payload)
+	}
+}
+
+// dropCopy records that one in-flight copy of r was destroyed (wire
+// loss, Rx ring overflow, or socket-queue overflow). With no retry
+// timer armed and no other copy in flight the request is lost for good.
+func (s *Server) dropCopy(r *workload.Request) {
+	r.Pending--
+	if r.Done == 0 && !r.TimedOut && !r.Lost &&
+		r.Pending == 0 && !r.Timer.Pending() {
+		r.Lost = true
+		s.acct.Lost++
+		s.live--
+	}
+	s.maybeRecycle(r)
+}
+
+// maybeRecycle returns r to the pool once it is terminal (completed,
+// timed out, or lost), no copy is still inside the datapath, and no
+// timer could resurrect it — the pool's terminal recycle point.
+func (s *Server) maybeRecycle(r *workload.Request) {
+	if r.Pending == 0 && !r.Timer.Pending() &&
+		(r.Done != 0 || r.TimedOut || r.Lost) {
+		s.reqPool.Put(r)
+	}
 }
 
 // complete is the app-thread completion hook: transmit the response
@@ -305,26 +511,38 @@ func (s *Server) complete(r *workload.Request) {
 
 // txDone fires when the response's last segment leaves the NIC: the Tx
 // packet record goes back to the pool and the request rides the return
-// network traversal to the client.
+// network traversal to the client — unless the wire loses the response.
 func (s *Server) txDone(p *nic.Packet) {
 	r := p.Payload
 	s.NIC.PutPacket(p)
+	if s.inj.DropWire() {
+		s.dropCopy(r)
+		return
+	}
 	s.Eng.ScheduleArg(s.netDelay(), s.respFn, r)
 }
 
-// respond is the client-side completion: record the latency, inform
-// OnDone, and recycle the request record — the pool's terminal recycle
-// point.
+// respond is the client-side arrival of one response copy. The first
+// response wins: it records the latency, cancels the retransmission
+// timer, and informs OnDone. Responses to retransmitted copies of an
+// already-answered (or abandoned) request just drain. The record is
+// recycled once the last copy is gone.
 func (s *Server) respond(a any) {
 	r := a.(*workload.Request)
-	r.Done = s.Eng.Now()
-	if s.measuring {
-		s.Hist.Add(r.Latency())
+	r.Pending--
+	if r.Done == 0 && !r.TimedOut && !r.Lost {
+		r.Done = s.Eng.Now()
+		r.Timer.Cancel()
+		s.acct.Completed++
+		s.live--
+		if s.measuring {
+			s.Hist.Add(r.Latency())
+		}
+		if s.OnDone != nil {
+			s.OnDone(r)
+		}
 	}
-	if s.OnDone != nil {
-		s.OnDone(r)
-	}
-	s.reqPool.Put(r)
+	s.maybeRecycle(r)
 }
 
 // Start arms the kernels, the policy and the generator without running
@@ -336,8 +554,20 @@ func (s *Server) Start() {
 	if s.policy != nil {
 		s.policy.Start()
 	}
+	// Transient throttle events clamp a core's P-state on top of
+	// whatever the policy requests; ThrottlePState 0 resolves to the
+	// model's slowest state.
+	pstate := s.inj.Config().ThrottlePState
+	if pstate == 0 {
+		pstate = s.Cfg.Model.MaxP()
+	}
+	s.inj.StartThrottler(s.Eng, s.Cfg.Model.NumCores, pstate, s.Proc.Throttle, s.Proc.Unthrottle)
 	s.Gen.Start()
 }
+
+// Err reports why the run aborted early (the engine watchdog tripped or
+// the harness cancelled it), or nil for a clean run.
+func (s *Server) Err() error { return s.Eng.Err() }
 
 // Run executes warmup + measurement and returns the result.
 func (s *Server) Run() Result {
@@ -357,10 +587,13 @@ func (s *Server) Collect() Result {
 	energy := s.Proc.PackageEnergyJ() - s.baseline
 	window := float64(s.Eng.Now()-s.measFrom) / 1e9
 	sum := s.Hist.Summarize()
-	var completed uint64
+	var completed, sockDrops uint64
 	for _, k := range s.Kernels {
 		completed += k.Counters().Completed
+		sockDrops += k.Counters().SockDrops
 	}
+	reqs := s.acct
+	reqs.InFlight = s.live
 	res := Result{
 		Summary:     sum,
 		Hist:        s.Hist,
@@ -370,6 +603,9 @@ func (s *Server) Collect() Result {
 		SLO:         s.Cfg.Profile.SLO,
 		FracOverSLO: 1 - s.Hist.FracLE(s.Cfg.Profile.SLO),
 		Violated:    sum.P99 > s.Cfg.Profile.SLO,
+		Reqs:        reqs,
+		Faults:      s.inj.Stats(),
+		SockDrops:   sockDrops,
 	}
 	if window > 0 {
 		res.AvgPowerW = energy / window

@@ -17,6 +17,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 )
 
@@ -145,6 +146,13 @@ type Engine struct {
 	// fired counts events dispatched since construction; useful for
 	// harness-level progress accounting and benchmarks.
 	fired uint64
+
+	// Watchdog state: maxEvents/maxTime bound a run (0 = unlimited), and
+	// err records why the engine aborted. Once err is set the engine is
+	// dead: Run and RunAll return immediately.
+	maxEvents uint64
+	maxTime   Time
+	err       error
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -323,6 +331,52 @@ func (e *Engine) AtArg(t Time, fn func(any), arg any) Event {
 // Stop aborts Run after the currently executing event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetWatchdog arms the engine watchdog: the run aborts with a diagnostic
+// error once maxEvents events have been dispatched in total, or once the
+// next event's timestamp exceeds maxTime. Either bound may be zero to
+// disable it. The watchdog exists so a runaway model (an event chain
+// that reschedules itself forever) terminates with an explanation
+// instead of hanging the harness; see docs/MODEL.md.
+func (e *Engine) SetWatchdog(maxEvents uint64, maxTime Time) {
+	e.maxEvents = maxEvents
+	e.maxTime = maxTime
+}
+
+// Abort stops the engine permanently with the given reason: the current
+// Run returns after the executing event completes, and every later Run
+// or RunAll call is a no-op. Err reports the reason. Abort with a nil
+// err is equivalent to Stop.
+func (e *Engine) Abort(err error) {
+	e.stopped = true
+	if err != nil && e.err == nil {
+		e.err = err
+	}
+}
+
+// Err returns the reason the engine was aborted (by the watchdog or
+// Abort), or nil for a healthy engine.
+func (e *Engine) Err() error { return e.err }
+
+// ErrWatchdog tags watchdog aborts; errors.Is(eng.Err(), sim.ErrWatchdog)
+// distinguishes a runaway run from an external Abort.
+var ErrWatchdog = errors.New("sim: watchdog tripped")
+
+// watchdogTripped checks the armed bounds against the next event and
+// aborts the engine with a diagnostic when one is exceeded.
+func (e *Engine) watchdogTripped() bool {
+	if e.maxEvents > 0 && e.fired >= e.maxEvents {
+		e.Abort(fmt.Errorf("%w: %d events dispatched without the run completing (now=%v, %d events still pending)",
+			ErrWatchdog, e.fired, e.now, len(e.heap)))
+		return true
+	}
+	if e.maxTime > 0 && len(e.heap) > 0 && e.heap[0].at > e.maxTime {
+		e.Abort(fmt.Errorf("%w: next event at %v exceeds the max-sim-time bound %v (%d events fired)",
+			ErrWatchdog, e.heap[0].at, e.maxTime, e.fired))
+		return true
+	}
+	return false
+}
+
 // fire pops the minimum event, advances the clock, recycles the record
 // (so the callback may immediately reuse it via Schedule) and runs the
 // callback.
@@ -341,14 +395,22 @@ func (e *Engine) fire() {
 }
 
 // Run dispatches events in timestamp order until the queue is empty, the
-// horizon is reached, or Stop is called. The clock is left at the horizon
-// (or at the last event if the queue drained first). Events scheduled
-// exactly at the horizon do fire.
+// horizon is reached, Stop is called, or the watchdog trips. The clock is
+// left at the horizon (or at the last event if the queue drained first).
+// Events scheduled exactly at the horizon do fire. Once the engine has
+// been aborted (watchdog or Abort), Run returns immediately; Err reports
+// why.
 func (e *Engine) Run(until Time) {
+	if e.err != nil {
+		return
+	}
 	e.stopped = false
 	for len(e.heap) > 0 && !e.stopped {
 		if e.heap[0].at > until {
 			break
+		}
+		if e.watchdogTripped() {
+			return
 		}
 		e.fire()
 	}
@@ -357,10 +419,17 @@ func (e *Engine) Run(until Time) {
 	}
 }
 
-// RunAll dispatches events until the queue drains or Stop is called.
+// RunAll dispatches events until the queue drains, Stop is called, or
+// the watchdog trips.
 func (e *Engine) RunAll() {
+	if e.err != nil {
+		return
+	}
 	e.stopped = false
 	for len(e.heap) > 0 && !e.stopped {
+		if e.watchdogTripped() {
+			return
+		}
 		e.fire()
 	}
 }

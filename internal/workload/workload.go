@@ -25,6 +25,23 @@ type Request struct {
 	AppCycles float64
 	// Done is when the client received the response (0 while in flight).
 	Done sim.Time
+
+	// Client-side recovery state (used only when the server's retry
+	// loop is enabled; all zero on the fault-free fast path).
+	//
+	// Attempts counts transmissions, including the first. Pending counts
+	// copies of this request currently inside the server datapath — a
+	// retransmission puts a second copy in flight, and the record may
+	// only be recycled once every copy has drained. Timer is the armed
+	// retransmission timeout. TimedOut/Lost mark the terminal outcome
+	// when the request never completed: TimedOut means the retry budget
+	// ran out; Lost means every copy was dropped with no timeout armed
+	// to recover it (retries disabled).
+	Attempts int
+	Pending  int
+	Timer    sim.Event
+	TimedOut bool
+	Lost     bool
 }
 
 // Latency returns the end-to-end response time (0 while in flight).
