@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-compare fault-smoke determinism-gate clean
+.PHONY: ci vet build test race bench bench-compare fault-smoke determinism-gate fuzz-smoke clean
 
-ci: vet build race fault-smoke determinism-gate bench-compare bench
+ci: vet build race fault-smoke determinism-gate fuzz-smoke bench-compare bench
 
 # Fault-injection smoke matrix: the loss/retry/throttle/watchdog paths
 # run under the race detector, then one figure regenerates end to end
@@ -18,13 +18,26 @@ fault-smoke:
 	$(GO) run ./cmd/nmapsim -quick -faults $(FAULT_SPEC) -rto 20ms fig2 > /dev/null
 
 # Determinism gate: the same faulted configuration must render the same
-# bytes twice — fault schedule, retransmissions, and physics included.
+# bytes twice — fault schedule, retransmissions, and physics included —
+# and the invariant auditor must be a pure observer: running the same
+# configuration with -audit on cannot change a single output byte.
 determinism-gate:
 	$(GO) build -o .gate-nmapsim ./cmd/nmapsim
 	./.gate-nmapsim -quick -faults $(FAULT_SPEC) -rto 20ms fig9 > .gate-a.txt
 	./.gate-nmapsim -quick -faults $(FAULT_SPEC) -rto 20ms fig9 > .gate-b.txt
 	cmp .gate-a.txt .gate-b.txt
-	rm -f .gate-nmapsim .gate-a.txt .gate-b.txt
+	./.gate-nmapsim -quick -faults $(FAULT_SPEC) -rto 20ms -audit fig9 > .gate-c.txt
+	cmp .gate-a.txt .gate-c.txt
+	rm -f .gate-nmapsim .gate-a.txt .gate-b.txt .gate-c.txt
+
+# Fuzz smoke: replay the checked-in corpus, let the native fuzzer mutate
+# for a few seconds, then push 200 fresh random configurations through
+# the auditor with the standalone driver. Any invariant violation fails
+# the build and leaves a minimized reproducer in fuzz-failures/.
+fuzz-smoke:
+	$(GO) test -count=1 -run 'TestSeedCorpusClean|FuzzAuditInvariants' ./internal/fuzzer/
+	$(GO) test -run '^$$' -fuzz FuzzAuditInvariants -fuzztime 10s ./internal/fuzzer/
+	$(GO) run ./cmd/nmapfuzz -n 200 -seed 1
 
 vet:
 	$(GO) vet ./...

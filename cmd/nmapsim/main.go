@@ -39,6 +39,10 @@ var cellTimeout = flag.Duration("cell-timeout", 0,
 	"wall-clock budget per simulation cell (0 = unlimited)")
 var cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to FILE")
 var memprofile = flag.String("memprofile", "", "write a heap (allocs) profile at exit to FILE")
+var auditOn = flag.Bool("audit", false,
+	"run every simulation under the invariant auditor (fails the run on any violation)")
+var auditReport = flag.Bool("audit-report", false,
+	"with -audit: print the per-rule check/violation summary after the run")
 
 type experiment struct {
 	name, desc string
@@ -224,7 +228,19 @@ func applyInjection() error {
 
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "nmapsim: %v\n", err)
+	printAuditReport() // os.Exit skips defers; a violation report still matters
 	os.Exit(1)
+}
+
+// printAuditReport dumps the per-rule audit tally accumulated across
+// every cell of the run, when -audit-report asked for it.
+func printAuditReport() {
+	if !*auditReport {
+		return
+	}
+	if rep := experiments.AuditReport(); rep != nil {
+		fmt.Print(rep)
+	}
 }
 
 func main() {
@@ -244,6 +260,10 @@ func main() {
 	}
 	defer writeMemProfile(*memprofile)
 	experiments.SetParallelism(*parallel)
+	if *auditOn || *auditReport {
+		experiments.SetAudit(true)
+		defer printAuditReport()
+	}
 	if err := applyInjection(); err != nil {
 		fail(err)
 	}

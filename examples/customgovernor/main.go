@@ -40,7 +40,11 @@ func run(attach func(s *server.Server) server.Policy, label string) {
 	idle, _ := governor.NewIdlePolicy("menu")
 	s := server.New(cfg, idle)
 	s.AttachPolicy(attach(s))
-	res := s.Run()
+	res, err := s.Run()
+	if err != nil {
+		fmt.Println("run failed:", err)
+		return
+	}
 	fmt.Printf("%-10s p99=%7.3fms violated=%-5v energy=%6.1fJ transitions=%d\n",
 		label, res.Summary.P99.Millis(), res.Violated, res.EnergyJ, res.Transitions)
 }

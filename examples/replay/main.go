@@ -71,7 +71,11 @@ func run(policy string) {
 		s.AttachPolicy(n)
 	}
 	rp.Start()
-	res := s.Run()
+	res, err := s.Run()
+	if err != nil {
+		fmt.Println("run failed:", err)
+		return
+	}
 	fmt.Printf("%-9s p99=%7.3fms violated=%-5v energy=%6.1fJ\n",
 		policy, res.Summary.P99.Millis(), res.Violated, res.EnergyJ)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"nmapsim/internal/audit"
 	"nmapsim/internal/sim"
 )
 
@@ -49,6 +50,7 @@ func (x *Exec) Cancel() float64 {
 	x.finished = true
 	x.ev.Cancel()
 	x.core.settle()
+	x.core.aud.ExecEnd(x.core.ID, x.core.energyJ)
 	x.core.busy = false
 	x.core.active = nil
 	x.core.putExec(x)
@@ -63,6 +65,7 @@ func execFire(a any) {
 	x.finished = true
 	x.core.active = nil
 	x.core.settle()
+	x.core.aud.ExecEnd(x.core.ID, x.core.energyJ)
 	x.core.busy = false
 	done := x.done
 	c := x.core
@@ -129,6 +132,12 @@ type Core struct {
 	// OnPStateChange, if set, fires whenever the effective operating
 	// point changes (used by the time-series sampler).
 	OnPStateChange func(p int)
+
+	// aud is the run's invariant auditor (nil = unaudited). Hooks fire
+	// only at instants where settle() already ran, so the auditor reads
+	// the freshly settled energy without perturbing the piecewise
+	// integration order — audited physics stay byte-identical.
+	aud *audit.Auditor
 }
 
 // NewCore builds a core for the given model attached to the engine.
@@ -269,6 +278,7 @@ func (c *Core) SetPState(p int) sim.Duration {
 		c.lastEffect = c.eng.Now()
 		c.everSet = true
 		c.transCount++
+		c.aud.PStateApplied(c.ID, p, c.energyJ)
 		if c.active != nil {
 			c.active.reprice(c.FreqGHz())
 		}
@@ -290,6 +300,7 @@ func (c *Core) StartExec(cycles float64, done func()) *Exec {
 		panic("cpu: StartExec while core is sleeping")
 	}
 	c.settle()
+	c.aud.ExecStart(c.ID, c.energyJ)
 	c.busy = true
 	x := c.getExec()
 	x.remaining = cycles
@@ -338,6 +349,7 @@ func (c *Core) Sleep(s CState) {
 		panic("cpu: Sleep while an Exec is active")
 	}
 	c.settle()
+	c.aud.CStateSleep(c.ID, int(s), c.energyJ)
 	c.busy = false
 	if s == CC6 && c.cstate != CC6 {
 		c.cc6Entries++
@@ -353,6 +365,7 @@ func (c *Core) Wake() sim.Duration {
 		return 0
 	}
 	c.settle()
+	c.aud.CStateWake(c.ID, int(c.cstate), c.energyJ)
 	lat := c.model.WakeLatency(c.cstate, c.rng)
 	if c.cstate == CC6 {
 		pen := sim.Duration(float64(c.model.CC6FlushPenalty) * c.model.CC6FlushFraction)

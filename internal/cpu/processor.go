@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"nmapsim/internal/audit"
 	"nmapsim/internal/sim"
 )
 
@@ -27,6 +28,13 @@ type Processor struct {
 	// governor's request is still recorded, so the core snaps back to
 	// it the moment the clamp lifts.
 	clamped []int
+
+	// aud is the run's invariant auditor (nil = unaudited). Request and
+	// Throttle are the single choke points every policy goes through,
+	// so an out-of-range operating point from a custom governor is
+	// recorded as a structured violation here instead of panicking
+	// deep inside cpu.Core.
+	aud *audit.Auditor
 }
 
 // NewProcessor builds a processor with the model's core count.
@@ -44,6 +52,15 @@ func NewProcessor(m *Model, eng *sim.Engine, rng *sim.RNG) *Processor {
 		p.Cores = append(p.Cores, NewCore(i, m, eng, rng.Fork()))
 	}
 	return p
+}
+
+// SetAuditor attaches the run's invariant auditor to the processor and
+// every core. Call before the run starts; nil detaches.
+func (p *Processor) SetAuditor(a *audit.Auditor) {
+	p.aud = a
+	for _, c := range p.Cores {
+		c.aud = a
+	}
 }
 
 // PerCore reports whether each core's request is applied independently.
@@ -87,12 +104,18 @@ func (p *Processor) apply() {
 // Request records coreID's desired operating point and applies the DVFS
 // coordination rule.
 func (p *Processor) Request(coreID, pstate int) {
+	if !p.aud.GovernorRequest(coreID, pstate) {
+		return
+	}
 	p.requested[coreID] = pstate
 	p.apply()
 }
 
 // RequestAll sets every core's request to the same operating point.
 func (p *Processor) RequestAll(pstate int) {
+	if !p.aud.GovernorRequest(-1, pstate) {
+		return
+	}
 	for i := range p.requested {
 		p.requested[i] = pstate
 	}

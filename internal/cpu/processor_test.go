@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"nmapsim/internal/audit"
 	"nmapsim/internal/sim"
 )
 
@@ -200,5 +201,74 @@ func TestThrottleChipWideBindsOneCore(t *testing.T) {
 	eng.RunAll()
 	if got := p.Cores[0].PState(); got != 1 {
 		t.Fatalf("core 0 at P%d after unthrottle, want P1", got)
+	}
+}
+
+// A throttle clamp landing while a large P-state transition is still in
+// flight must resolve to a legal operating point, and the whole dance —
+// request, clamp mid-flight, unthrottle — must satisfy the invariant
+// auditor: every applied state inside the model's table, transition
+// counts matching the mirror, cycle/energy accounting intact.
+func TestThrottleMidTransitionAuditedLegal(t *testing.T) {
+	m := XeonGold6134
+	eng := sim.NewEngine()
+	p := NewProcessor(m, eng, sim.NewRNG(1))
+	aud := audit.New(eng, m.NumCores, m.MaxP(), m.MaxPowerW())
+	p.SetAuditor(aud)
+
+	p.Request(2, 0)
+	eng.RunAll()
+	// Launch a full-span transition, then clamp while it is in flight
+	// (the ACPI latency is tens of microseconds; 1µs is mid-flight).
+	p.Request(2, m.MaxP())
+	eng.Schedule(sim.Microsecond, func() { p.Throttle(2, 9) })
+	eng.RunAll()
+	if got := p.Cores[2].PState(); got < 9 {
+		t.Fatalf("clamped core settled at P%d, faster than the P9 clamp", got)
+	}
+	p.Unthrottle(2)
+	eng.RunAll()
+	if got := p.Cores[2].PState(); got != m.MaxP() {
+		t.Fatalf("core at P%d after unthrottle, want the recorded P%d", got, m.MaxP())
+	}
+
+	final := audit.Final{PackageEnergyJ: p.PackageEnergyJ()}
+	for _, c := range p.Cores {
+		a := c.Snapshot()
+		final.CoreBusyNs = append(final.CoreBusyNs, a.BusyNs)
+		final.CoreCC0Ns = append(final.CoreCC0Ns, a.CC0Ns)
+		final.CoreCC6 = append(final.CoreCC6, a.CC6Entries)
+		final.CoreTrans = append(final.CoreTrans, c.Transitions())
+		final.CoreEnergyJ = append(final.CoreEnergyJ, a.EnergyJ)
+	}
+	if rep := aud.Finalize(final); rep.Failed() {
+		t.Fatalf("throttle mid-transition broke invariants:\n%s", rep)
+	}
+}
+
+// An out-of-range policy request under audit is dropped and recorded as
+// a structured P-state violation instead of panicking deep inside the
+// core model — the auditor's never-panic contract.
+func TestAuditedOutOfRangeRequestDropsNotPanics(t *testing.T) {
+	m := XeonGold6134
+	eng := sim.NewEngine()
+	p := NewProcessor(m, eng, sim.NewRNG(1))
+	aud := audit.New(eng, m.NumCores, m.MaxP(), m.MaxPowerW())
+	p.SetAuditor(aud)
+	p.Request(0, 3)
+	eng.RunAll()
+	p.Request(0, m.MaxP()+7) // would panic unaudited
+	p.RequestAll(-1)         // likewise
+	eng.RunAll()
+	if got := p.Cores[0].PState(); got != 3 {
+		t.Fatalf("illegal request moved the core to P%d", got)
+	}
+	if n := aud.TotalViolations(); n != 2 {
+		t.Fatalf("recorded %d violations, want 2", n)
+	}
+	for _, v := range aud.Violations() {
+		if v.Rule != audit.RulePStateLegality {
+			t.Fatalf("violation under rule %q, want %q", v.Rule, audit.RulePStateLegality)
+		}
 	}
 }

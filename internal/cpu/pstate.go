@@ -159,6 +159,22 @@ type Model struct {
 // MaxP returns the index of the slowest P-state (Pmin).
 func (m *Model) MaxP() int { return len(m.PStates) - 1 }
 
+// MaxPowerW returns the package power ceiling: every core in its most
+// expensive condition (the larger of all-busy-at-P0 and the C-state
+// exit transition) plus the full uncore. No reachable configuration
+// draws more, which makes it the energy-sanity bound the invariant
+// auditor checks package energy against.
+func (m *Model) MaxPowerW() float64 {
+	pp := m.Power
+	core := pp.DynW + pp.StaticW
+	for _, w := range []float64{pp.WakeW, pp.CC1W, pp.CC6W} {
+		if w > core {
+			core = w
+		}
+	}
+	return float64(m.NumCores)*core + pp.UncoreDynW + pp.UncoreW
+}
+
 // FreqAt returns the clock at P-state index p in GHz.
 func (m *Model) FreqAt(p int) float64 { return m.PStates[p].FreqGHz }
 

@@ -76,8 +76,9 @@ func RunTrace(profile *workload.Profile, level workload.Level, policy, idle stri
 	}
 	tr := NewTrace(s, 0)
 	guardCell(nil, s)
-	res := s.Run()
-	if err := s.Err(); err != nil {
+	res, err := s.Run()
+	recordAudit(res.Audit)
+	if err != nil {
 		return TraceFigure{}, err
 	}
 
@@ -192,8 +193,9 @@ func RunLatency(profile *workload.Profile, level workload.Level, policy, idle st
 	}
 	tr := NewTrace(s, 0)
 	guardCell(nil, s)
-	res := s.Run()
-	if err := s.Err(); err != nil {
+	res, err := s.Run()
+	recordAudit(res.Audit)
+	if err != nil {
 		return LatencyFigure{}, err
 	}
 	from := sim.Time(q.warmup())
@@ -423,8 +425,9 @@ func Fig16(q Quality) ([]Fig16Result, error) {
 		}
 		tr := NewTrace(s, 0)
 		guardCell(nil, s)
-		res := s.Run()
-		if err := s.Err(); err != nil {
+		res, err := s.Run()
+		recordAudit(res.Audit)
+		if err != nil {
 			return out, err
 		}
 		from := sim.Time(q.warmup())
@@ -492,8 +495,9 @@ func AblationPerRequest(q Quality) ([]AblationCell, error) {
 	s.AddListener(pr)
 	s.AttachPolicy(pr)
 	guardCell(nil, s)
-	res := s.Run()
-	if err := s.Err(); err != nil {
+	res, err := s.Run()
+	recordAudit(res.Audit)
+	if err != nil {
 		return out, err
 	}
 	out = append(out, AblationCell{

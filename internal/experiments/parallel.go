@@ -123,8 +123,9 @@ func runCell(ctx context.Context, spec Spec) (server.Result, error) {
 		return server.Result{}, err
 	}
 	guardCell(ctx, s)
-	res := s.Run()
-	return res, s.Err()
+	res, err := s.Run()
+	recordAudit(res.Audit)
+	return res, err
 }
 
 // guardCell attaches the harness guard ticker to a built server (see

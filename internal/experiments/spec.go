@@ -9,6 +9,7 @@ import (
 	"math"
 	"sync"
 
+	"nmapsim/internal/audit"
 	"nmapsim/internal/baselines"
 	"nmapsim/internal/core"
 	"nmapsim/internal/cpu"
@@ -121,6 +122,51 @@ func Injection() (faults.Config, workload.RetryConfig) {
 	return injFaults, injRetry
 }
 
+// Package-level audit default (the CLIs' -audit flag): when on, Build
+// enables the invariant auditor on every spec that does not already
+// request it, and every audited run's report is merged into a package
+// tally for -audit-report.
+var (
+	audMu    sync.RWMutex
+	audOn    bool
+	audTally *audit.Report
+)
+
+// SetAudit installs the package-default audit switch.
+func SetAudit(on bool) {
+	audMu.Lock()
+	audOn = on
+	audMu.Unlock()
+}
+
+// AuditDefault reports the package-default audit switch.
+func AuditDefault() bool {
+	audMu.RLock()
+	defer audMu.RUnlock()
+	return audOn
+}
+
+// recordAudit merges one run's audit report into the package tally.
+func recordAudit(rep *audit.Report) {
+	if rep == nil {
+		return
+	}
+	audMu.Lock()
+	if audTally == nil {
+		audTally = &audit.Report{}
+	}
+	audTally.Merge(rep)
+	audMu.Unlock()
+}
+
+// AuditReport returns a snapshot of the merged audit tally across every
+// audited run so far, or nil when no audited run has finished.
+func AuditReport() *audit.Report {
+	audMu.RLock()
+	defer audMu.RUnlock()
+	return audTally.Clone()
+}
+
 // Build assembles the server and its policy without running it, so
 // callers can attach tracers first. The spec's configuration is
 // validated here — an invalid NIC/kernel/CPU parameter surfaces as a
@@ -142,6 +188,9 @@ func Build(spec Spec) (*server.Server, error) {
 	}
 	if !cfg.Retry.Enabled() {
 		cfg.Retry = r
+	}
+	if !cfg.Audit {
+		cfg.Audit = AuditDefault()
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -259,15 +308,17 @@ func ncapThreshold(p *workload.Profile) float64 {
 	return math.Sqrt(lo * med)
 }
 
-// Run builds and runs one spec. A watchdog or harness abort mid-run
-// surfaces as an error alongside the partial result collected so far.
+// Run builds and runs one spec. A watchdog or harness abort mid-run —
+// or, with auditing on, an invariant violation — surfaces as an error
+// alongside the partial result collected so far.
 func Run(spec Spec) (server.Result, error) {
 	s, err := Build(spec)
 	if err != nil {
 		return server.Result{}, err
 	}
-	res := s.Run()
-	return res, s.Err()
+	res, err := s.Run()
+	recordAudit(res.Audit)
+	return res, err
 }
 
 // MustRun is Run with a panic on assembly errors (experiment tables use

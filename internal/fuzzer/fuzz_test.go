@@ -1,0 +1,130 @@
+package fuzzer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nmapsim/internal/sim"
+)
+
+// SeedCorpus are the hand-picked regression corners checked into
+// testdata/fuzz/FuzzAuditInvariants and replayed by every plain
+// `go test` run: a retry storm over a lossy wire, a unit socket queue,
+// thermal throttling over CC6 sleeps, and lumpy RSS steering onto three
+// flows.
+var SeedCorpus = map[string][NumWords]uint64{
+	"retry-storm":  {7, 3, 3, 0, 2, 1, 0, 0, 80, 1 | 4<<8, 15 << 8, 0},
+	"sockq-one":    {11, 3, 7, 0, 2, 0, 1, 0, 20, 0, 15 << 8, 0},
+	"throttle-cc6": {13, 3, 3, 2, 1, 0, 0, 0, 1<<16 | 9<<24, 0, 15 << 8, 0},
+	"lumpy-rss":    {17, 3, 7, 0, 2, 0, 0, 18, 0, 0, 15 << 8, 0},
+}
+
+// FuzzAuditInvariants decodes twelve entropy words into a valid server
+// configuration, runs it under the invariant auditor, and fails on any
+// violation. Watchdog aborts (some specs arm MaxEvents on purpose) are
+// expected outcomes, not failures.
+func FuzzAuditInvariants(f *testing.F) {
+	for _, w := range SeedCorpus {
+		f.Add(w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7], w[8], w[9], w[10], w[11])
+	}
+	f.Fuzz(func(t *testing.T, w0, w1, w2, w3, w4, w5, w6, w7, w8, w9, w10, w11 uint64) {
+		sp := FromWords([NumWords]uint64{w0, w1, w2, w3, w4, w5, w6, w7, w8, w9, w10, w11})
+		if out := Check(sp); out.Failed() {
+			t.Fatalf("invariant violation: %v\nreproducer:\n%s", out.Err, MarshalSpec(sp))
+		}
+	})
+}
+
+// TestSeedCorpusClean replays the named corners explicitly so a plain
+// test run reports them by name, and asserts each scenario actually
+// exercises what it claims to.
+func TestSeedCorpusClean(t *testing.T) {
+	for name, w := range SeedCorpus {
+		t.Run(name, func(t *testing.T) {
+			sp := FromWords(w)
+			out := Check(sp)
+			if out.Failed() {
+				t.Fatalf("%v\nreproducer:\n%s", out.Err, MarshalSpec(sp))
+			}
+			if out.Report == nil {
+				t.Fatal("no audit report")
+			}
+		})
+	}
+	if sp := FromWords(SeedCorpus["retry-storm"]); sp.WireLossPM == 0 || sp.RTOMs == 0 {
+		t.Fatalf("retry-storm corner lost its knobs: %+v", sp)
+	}
+	if sp := FromWords(SeedCorpus["sockq-one"]); sp.SockQCap != 1 {
+		t.Fatalf("sockq-one corner lost its knob: %+v", sp)
+	}
+	if sp := FromWords(SeedCorpus["throttle-cc6"]); sp.ThrottleRate == 0 || sp.Idle != "c6only" {
+		t.Fatalf("throttle-cc6 corner lost its knobs: %+v", sp)
+	}
+	if sp := FromWords(SeedCorpus["lumpy-rss"]); !sp.LumpyRSS || sp.Flows != 3 {
+		t.Fatalf("lumpy-rss corner lost its knobs: %+v", sp)
+	}
+}
+
+// Property: the word decoder is total — any entropy maps to a Spec whose
+// lowered configuration passes validation.
+func TestFromWordsAlwaysValid(t *testing.T) {
+	fn := func(w [NumWords]uint64) bool {
+		sp := FromWords(w)
+		es, err := sp.Experiment()
+		if err != nil {
+			return false
+		}
+		return es.Cfg.Validate() == nil
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A random sample of generated specs runs clean end to end (the cheap,
+// always-on cousin of the -fuzz target).
+func TestRandomSpecsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full runs; skipped in -short")
+	}
+	rng := sim.NewRNG(99)
+	for i := 0; i < 12; i++ {
+		sp := Generate(rng)
+		if out := Check(sp); out.Failed() {
+			t.Fatalf("spec %d: %v\nreproducer:\n%s", i, out.Err, MarshalSpec(sp))
+		}
+	}
+}
+
+// Shrink must strip every knob that does not matter for the failure and
+// stop at a fixpoint, under a synthetic predicate.
+func TestShrinkMinimises(t *testing.T) {
+	sp := FromWords(SeedCorpus["retry-storm"])
+	sp.ThrottleRate, sp.ThrottlePS = 1000, 3
+	sp.LumpyRSS = true
+	// Synthetic failure: only the unit socket queue matters.
+	sp.SockQCap = 1
+	failed := func(s Spec) bool { return s.SockQCap == 1 }
+	min := Shrink(sp, failed, 0)
+	if min.SockQCap != 1 {
+		t.Fatal("shrink dropped the knob the failure depends on")
+	}
+	if min.WireLossPM != 0 || min.ThrottleRate != 0 || min.RTOMs != 0 || min.LumpyRSS {
+		t.Fatalf("shrink left irrelevant knobs active: %+v", min)
+	}
+	if min.Policy != "performance" || min.Level != "low" {
+		t.Fatalf("shrink did not simplify policy/level: %+v", min)
+	}
+}
+
+// Reproducers round-trip through JSON.
+func TestSpecRoundTrip(t *testing.T) {
+	sp := FromWords(SeedCorpus["throttle-cc6"])
+	back, err := UnmarshalSpec(MarshalSpec(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != sp {
+		t.Fatalf("round trip diverged:\n%+v\n%+v", back, sp)
+	}
+}

@@ -1,0 +1,351 @@
+// Package fuzzer generates random-but-valid server configurations, runs
+// them under the invariant auditor (package audit), and shrinks any
+// violating configuration to a minimal reproducer. It backs both the
+// native `go test -fuzz=FuzzAuditInvariants` target and the standalone
+// cmd/nmapfuzz driver.
+//
+// A configuration is drawn from a fixed array of untyped words so that
+// the native fuzzer can mutate the raw entropy while the mapping stays
+// total: every word vector maps to a configuration that passes
+// server.Config.Validate, and every violation found is a real invariant
+// breach, never a rejected input.
+package fuzzer
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"nmapsim/internal/audit"
+	"nmapsim/internal/cpu"
+	"nmapsim/internal/experiments"
+	"nmapsim/internal/faults"
+	"nmapsim/internal/server"
+	"nmapsim/internal/sim"
+	"nmapsim/internal/workload"
+)
+
+// NumWords is the size of the raw entropy vector one configuration is
+// decoded from.
+const NumWords = 12
+
+// Policies are the power-management policies the fuzzer cycles through —
+// the full harness catalogue.
+var Policies = experiments.PolicyNames
+
+// Idles are the C-state policies the fuzzer cycles through.
+var Idles = []string{"menu", "disable", "c6only"}
+
+// Spec is one fuzzed configuration, serialisable as a JSON reproducer.
+// Every field is already clamped to a valid range; Experiment() performs
+// the residual model-dependent clamping (throttle P-state, userspace
+// P-state).
+type Spec struct {
+	Seed    uint64 `json:"seed"`
+	Model   string `json:"model"`
+	Profile string `json:"profile"`
+	Policy  string `json:"policy"`
+	Idle    string `json:"idle"`
+	Level   string `json:"level"`
+
+	WarmupMs   int `json:"warmup_ms"`
+	DurationMs int `json:"duration_ms"`
+
+	NICRing  int  `json:"nic_ring,omitempty"`
+	SockQCap int  `json:"sockq_cap,omitempty"`
+	Flows    int  `json:"flows,omitempty"`
+	LumpyRSS bool `json:"lumpy_rss,omitempty"`
+	ITRUs    int  `json:"itr_us,omitempty"`
+
+	// Fault injection, in coarse integer units so reproducers stay
+	// readable: losses in per-mille, throttle rate in events/second.
+	WireLossPM   int `json:"wire_loss_pm,omitempty"`
+	IRQLossPM    int `json:"irq_loss_pm,omitempty"`
+	ThrottleRate int `json:"throttle_rate,omitempty"`
+	ThrottlePS   int `json:"throttle_pstate,omitempty"`
+
+	// Client retry loop; RTOMs == 0 disables it.
+	RTOMs      int `json:"rto_ms,omitempty"`
+	MaxRetries int `json:"max_retries,omitempty"`
+
+	// MaxEvents arms the engine watchdog so the fuzzer also explores
+	// abort paths; a watchdog abort is an expected outcome, not a
+	// failure.
+	MaxEvents uint64 `json:"max_events,omitempty"`
+}
+
+// levels and discrete knob menus the word decoder picks from. Small
+// rings, unit socket queues and few flows are deliberately over-weighted
+// — overflow and imbalance corners are where conservation bugs live.
+var (
+	rings   = []int{0, 16, 64, 256}
+	sockqs  = []int{0, 1, 8, 64}
+	flowses = []int{0, 1, 3, 8}
+	itrs    = []int{0, 2, 10, 50}
+	rates   = []int{0, 200, 1000}
+	events  = []uint64{0, 0, 200_000, 2_000_000}
+)
+
+// FromWords decodes a raw word vector into a valid Spec. The mapping is
+// total: any entropy yields a configuration that validates.
+func FromWords(w [NumWords]uint64) Spec {
+	models := cpu.Models
+	profiles := workload.Profiles()
+	sp := Spec{
+		Seed:    w[0],
+		Model:   models[w[1]%uint64(len(models))].Name,
+		Profile: profiles[w[1]>>8%uint64(len(profiles))].Name,
+		Policy:  Policies[w[2]%uint64(len(Policies))],
+		Idle:    Idles[w[3]%uint64(len(Idles))],
+		Level:   workload.Levels[w[4]%3].String(),
+
+		WarmupMs:   int(w[10] % 11),      // 0–10ms
+		DurationMs: 5 + int(w[10]>>8%36), // 5–40ms
+
+		NICRing:  rings[w[5]%uint64(len(rings))],
+		SockQCap: sockqs[w[6]%uint64(len(sockqs))],
+		Flows:    flowses[w[7]%uint64(len(flowses))],
+		LumpyRSS: w[7]>>4&1 == 1,
+		ITRUs:    itrs[w[5]>>8%uint64(len(itrs))],
+
+		WireLossPM:   int(w[8] % 81),      // 0–8%
+		IRQLossPM:    int(w[8] >> 8 % 21), // 0–2%
+		ThrottleRate: rates[w[8]>>16%uint64(len(rates))],
+		ThrottlePS:   int(w[8] >> 24 % 16), // clamped to the model later
+
+		RTOMs:      int(w[9] % 8), // 0 disables retries
+		MaxRetries: int(w[9] >> 8 % 5),
+
+		MaxEvents: events[w[11]%uint64(len(events))],
+	}
+	return sp
+}
+
+// Generate draws one Spec from a seeded stream.
+func Generate(rng *sim.RNG) Spec {
+	var w [NumWords]uint64
+	for i := range w {
+		w[i] = rng.Uint64()
+	}
+	return FromWords(w)
+}
+
+func findModel(name string) *cpu.Model {
+	for _, m := range cpu.Models {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+func findProfile(name string) *workload.Profile {
+	for _, p := range workload.Profiles() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+func findLevel(name string) (workload.Level, bool) {
+	for _, l := range workload.Levels {
+		if l.String() == name {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+// Experiment lowers the Spec to a runnable experiments.Spec with the
+// auditor enabled. Unknown names (possible in a hand-edited reproducer)
+// surface as errors.
+func (sp Spec) Experiment() (experiments.Spec, error) {
+	m := findModel(sp.Model)
+	if sp.Model != "" && m == nil {
+		return experiments.Spec{}, fmt.Errorf("fuzzer: unknown model %q", sp.Model)
+	}
+	p := findProfile(sp.Profile)
+	if sp.Profile != "" && p == nil {
+		return experiments.Spec{}, fmt.Errorf("fuzzer: unknown profile %q", sp.Profile)
+	}
+	lvl, ok := findLevel(sp.Level)
+	if sp.Level != "" && !ok {
+		return experiments.Spec{}, fmt.Errorf("fuzzer: unknown level %q", sp.Level)
+	}
+	cfg := serverConfig(sp, m, p, lvl)
+	es := experiments.Spec{Policy: sp.Policy, Idle: sp.Idle, Cfg: cfg}
+	if sp.Policy == "userspace" {
+		mm := m
+		if mm == nil {
+			mm = cpu.XeonGold6134
+		}
+		es.UserspaceP = int(sp.Seed % uint64(mm.MaxP()+1))
+	}
+	return es, nil
+}
+
+func serverConfig(sp Spec, m *cpu.Model, p *workload.Profile, lvl workload.Level) server.Config {
+	mm := m
+	if mm == nil {
+		mm = cpu.XeonGold6134
+	}
+	cfg := server.Config{
+		Model:    m,
+		Seed:     sp.Seed,
+		Profile:  p,
+		Level:    lvl,
+		Warmup:   sim.Duration(sp.WarmupMs) * sim.Millisecond,
+		Duration: sim.Duration(sp.DurationMs) * sim.Millisecond,
+		NICRing:  sp.NICRing,
+		SockQCap: sp.SockQCap,
+		Flows:    sp.Flows,
+		LumpyRSS: sp.LumpyRSS,
+		ITR:      sim.Duration(sp.ITRUs) * sim.Microsecond,
+		Audit:    true,
+	}
+	if sp.WarmupMs == 0 {
+		cfg.Warmup = -1 // negative means "really zero" in the config idiom
+	}
+	cfg.Faults = faults.Config{
+		WireLossProb: float64(sp.WireLossPM) / 1000,
+		IRQLossProb:  float64(sp.IRQLossPM) / 1000,
+		ThrottleRate: float64(sp.ThrottleRate),
+		ThrottlePState: func() int {
+			if sp.ThrottleRate == 0 {
+				return 0
+			}
+			return sp.ThrottlePS % (mm.MaxP() + 1)
+		}(),
+	}
+	if sp.RTOMs > 0 {
+		cfg.Retry = workload.RetryConfig{
+			Timeout:    sim.Duration(sp.RTOMs) * sim.Millisecond,
+			MaxRetries: sp.MaxRetries,
+		}
+	}
+	cfg.MaxEvents = sp.MaxEvents
+	return cfg
+}
+
+// Outcome is the audited result of running one Spec.
+type Outcome struct {
+	// Report is the audit report (nil only on assembly errors).
+	Report *audit.Report
+	// Aborted is true when the engine watchdog stopped the run early —
+	// an expected outcome for specs that arm MaxEvents.
+	Aborted bool
+	// Err is the failure, nil when every invariant held. Assembly errors
+	// and invariant violations both land here; watchdog aborts do not.
+	Err error
+}
+
+// Failed reports whether the outcome is an invariant violation or an
+// assembly failure (as opposed to clean or watchdog-aborted).
+func (o Outcome) Failed() bool { return o.Err != nil }
+
+// Check builds and runs one Spec under the auditor.
+func Check(sp Spec) Outcome {
+	es, err := sp.Experiment()
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	s, err := experiments.Build(es)
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	res, err := s.Run()
+	out := Outcome{Report: res.Audit}
+	if errors.Is(err, sim.ErrWatchdog) {
+		out.Aborted = true
+		err = res.Audit.Err() // the abort itself is fine; violations are not
+	}
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	if res.Audit == nil {
+		out.Err = errors.New("fuzzer: audited run produced no audit report")
+	} else if !res.Reqs.Consistent() {
+		out.Err = fmt.Errorf("fuzzer: ledger inconsistent without an audit violation: %+v", res.Reqs)
+	}
+	return out
+}
+
+// shrinkMoves are the simplification steps Shrink tries, most aggressive
+// first. Each returns a strictly simpler candidate (or no change).
+var shrinkMoves = []func(Spec) Spec{
+	func(s Spec) Spec { s.WireLossPM = 0; return s },
+	func(s Spec) Spec { s.IRQLossPM = 0; return s },
+	func(s Spec) Spec { s.ThrottleRate = 0; s.ThrottlePS = 0; return s },
+	func(s Spec) Spec { s.RTOMs = 0; s.MaxRetries = 0; return s },
+	func(s Spec) Spec { s.SockQCap = 0; return s },
+	func(s Spec) Spec { s.NICRing = 0; return s },
+	func(s Spec) Spec { s.Flows = 0; s.LumpyRSS = false; return s },
+	func(s Spec) Spec { s.ITRUs = 0; return s },
+	func(s Spec) Spec { s.MaxEvents = 0; return s },
+	func(s Spec) Spec { s.Idle = "menu"; return s },
+	func(s Spec) Spec { s.Policy = "performance"; return s },
+	func(s Spec) Spec { s.Level = "low"; return s },
+	func(s Spec) Spec { s.Model = cpu.XeonGold6134.Name; return s },
+	func(s Spec) Spec { s.Profile = workload.Memcached().Name; return s },
+	func(s Spec) Spec { s.WarmupMs = 0; return s },
+	func(s Spec) Spec {
+		if s.DurationMs > 5 {
+			s.DurationMs /= 2
+			if s.DurationMs < 5 {
+				s.DurationMs = 5
+			}
+		}
+		return s
+	},
+}
+
+// Shrink greedily minimises a failing Spec: each simplification move is
+// kept iff the simplified spec still fails the predicate, looping until
+// a fixpoint or the budget of predicate evaluations is spent. Callers
+// fuzzing real runs pass `func(s Spec) bool { return Check(s).Failed() }`.
+// The result reproduces the failure with as few active knobs as
+// possible.
+func Shrink(sp Spec, failed func(Spec) bool, budget int) Spec {
+	if budget <= 0 {
+		budget = 64
+	}
+	changed := true
+	for changed && budget > 0 {
+		changed = false
+		for _, move := range shrinkMoves {
+			if budget <= 0 {
+				break
+			}
+			cand := move(sp)
+			if cand == sp {
+				continue
+			}
+			budget--
+			if failed(cand) {
+				sp = cand
+				changed = true
+			}
+		}
+	}
+	return sp
+}
+
+// MarshalSpec renders a reproducer as indented JSON.
+func MarshalSpec(sp Spec) []byte {
+	b, err := json.MarshalIndent(sp, "", "  ")
+	if err != nil { // a Spec is plain data; this cannot happen
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// UnmarshalSpec parses a reproducer file.
+func UnmarshalSpec(b []byte) (Spec, error) {
+	var sp Spec
+	if err := json.Unmarshal(b, &sp); err != nil {
+		return Spec{}, fmt.Errorf("fuzzer: bad reproducer: %w", err)
+	}
+	return sp, nil
+}

@@ -20,6 +20,7 @@
 package kernel
 
 import (
+	"nmapsim/internal/audit"
 	"nmapsim/internal/cpu"
 	"nmapsim/internal/nic"
 	"nmapsim/internal/sim"
@@ -201,6 +202,10 @@ type CoreKernel struct {
 
 	idlePol   IdlePolicy
 	listeners []NAPIListener
+	// aud is the run's invariant auditor (nil = unaudited): it mirrors
+	// the NAPI state machine and counts the socket-queue/app legs of
+	// packet conservation.
+	aud *audit.Auditor
 
 	// Execution state.
 	exec      *cpu.Exec
@@ -274,8 +279,26 @@ func (k *CoreKernel) Counters() Counters { return k.c }
 // Core returns the underlying CPU core.
 func (k *CoreKernel) Core() *cpu.Core { return k.core }
 
+// SetAuditor attaches the run's invariant auditor. Call before the run
+// starts; a nil auditor (the default) audits nothing.
+func (k *CoreKernel) SetAuditor(a *audit.Auditor) { k.aud = a }
+
 // SockQLen returns the current socket-queue depth.
 func (k *CoreKernel) SockQLen() int { return len(k.sockQ) }
+
+// AppInFlight returns how many requests the app thread currently holds
+// (dequeued from the socket queue but not yet completed).
+func (k *CoreKernel) AppInFlight() int {
+	if k.appCur != nil {
+		return 1
+	}
+	return 0
+}
+
+// PollInFlight returns how many polled packets are being charged for by
+// an in-flight poll pass (drained from the ring, not yet delivered to
+// the socket queue).
+func (k *CoreKernel) PollInFlight() int { return len(k.pollBatch) }
 
 // KsoftirqdActive reports whether NAPI processing is currently owned by
 // ksoftirqd (i.e. ksoftirqd is awake).
@@ -415,10 +438,13 @@ func (k *CoreKernel) onHardirqDone() {
 	// mode. If ksoftirqd already owns the NAPI context (IRQ was
 	// re-enabled by a race we do not model), fold into it.
 	if !k.inKsoftirqd {
+		k.aud.NAPISchedule(k.ID)
 		k.napiScheduled = true
 		k.firstPass = true
 		k.softirqStart = k.eng.Now()
 		k.softirqPasses = 0
+	} else {
+		k.aud.NAPIFold(k.ID)
 	}
 	for _, l := range k.listeners {
 		l.InterruptArrived(k.ID)
@@ -430,6 +456,7 @@ func (k *CoreKernel) onHardirqDone() {
 // context: drain up to the budget from the Rx ring, clean pending Tx
 // completions, charge the cycles, deliver to the socket queue.
 func (k *CoreKernel) runPollPass(owner execOwner) {
+	k.aud.NAPIPoll(k.ID)
 	batch := k.dev.Poll(k.ID, k.cfg.PollBudget)
 	txn := k.dev.TxClean(k.ID, k.cfg.TxCleanBudget)
 	if len(batch) == 0 && txn == 0 {
@@ -461,10 +488,12 @@ func (k *CoreKernel) onPollDone() {
 		if p.Payload != nil {
 			if k.cfg.SockQCap > 0 && len(k.sockQ) >= k.cfg.SockQCap {
 				k.c.SockDrops++
+				k.aud.SockDrop(k.ID)
 				if k.OnSockDrop != nil {
 					k.OnSockDrop(p.Payload)
 				}
 			} else {
+				k.aud.SockEnq(k.ID)
 				k.sockQ = append(k.sockQ, p.Payload)
 			}
 		}
@@ -505,6 +534,7 @@ func (k *CoreKernel) onPollDone() {
 // napiComplete ends the polling session: the ring is empty, the queue
 // IRQ is re-enabled, and ksoftirqd (if it owned the context) sleeps.
 func (k *CoreKernel) napiComplete(owner execOwner) {
+	k.aud.NAPIComplete(k.ID)
 	k.napiScheduled = false
 	if k.inKsoftirqd {
 		k.inKsoftirqd = false
@@ -518,6 +548,7 @@ func (k *CoreKernel) napiComplete(owner execOwner) {
 // migrateToKsoftirqd hands the NAPI context from softirq to the
 // ksoftirqd thread (normal priority, shares the core with the app).
 func (k *CoreKernel) migrateToKsoftirqd() {
+	k.aud.NAPIMigrate(k.ID)
 	k.napiScheduled = false
 	k.inKsoftirqd = true
 	k.c.KsoftirqdWakes++
@@ -532,6 +563,7 @@ func (k *CoreKernel) runApp() {
 			k.goIdle()
 			return
 		}
+		k.aud.AppStart(k.ID)
 		k.appCur = k.sockQ[0]
 		copy(k.sockQ, k.sockQ[1:])
 		k.sockQ = k.sockQ[:len(k.sockQ)-1]
@@ -552,6 +584,7 @@ func (k *CoreKernel) onAppDone() {
 	k.appCur = nil
 	k.appRem = 0
 	k.c.Completed++
+	k.aud.AppDone(k.ID)
 	if k.OnAppComplete != nil {
 		k.OnAppComplete(done)
 	}

@@ -6,6 +6,7 @@
 package nic
 
 import (
+	"nmapsim/internal/audit"
 	"nmapsim/internal/faults"
 	"nmapsim/internal/sim"
 	"nmapsim/internal/workload"
@@ -122,6 +123,9 @@ type NIC struct {
 	// interrupts). nil when fault injection is off; every use is
 	// nil-receiver-safe, so the zero-fault path draws nothing.
 	inj *faults.Injector
+	// aud is the run's invariant auditor (nil = unaudited); the device
+	// reports every packet-conservation event on the Rx and Tx legs.
+	aud *audit.Auditor
 	// OnRxDrop is invoked for each packet the NIC drops on ring
 	// overflow, before the record is recycled, so the server can mark
 	// the payload's in-flight copy lost instead of leaking it. The
@@ -217,10 +221,15 @@ func (n *NIC) QueueFor(flow uint64) int {
 // a nil injector (the default) injects nothing.
 func (n *NIC) SetInjector(inj *faults.Injector) { n.inj = inj }
 
+// SetAuditor attaches the run's invariant auditor. Call before the run
+// starts; a nil auditor (the default) audits nothing.
+func (n *NIC) SetAuditor(a *audit.Auditor) { n.aud = a }
+
 // Deliver injects a packet from the wire: after the DMA latency (plus
 // any injected jitter) it lands in the RSS-selected ring (or is dropped
 // if the ring is full) and the queue's interrupt logic runs.
 func (n *NIC) Deliver(p *Packet) {
+	n.aud.NICDeliver()
 	n.eng.ScheduleArg(n.cfg.DMALatency+n.inj.DMAJitter(), n.dmaFn, p)
 }
 
@@ -234,6 +243,7 @@ func (n *NIC) dmaLand(a any) {
 	qu := n.qs[q]
 	if len(qu.ring) >= n.cfg.RingSize {
 		qu.drops++
+		n.aud.RingDrop()
 		if n.OnRxDrop != nil {
 			n.OnRxDrop(p)
 		}
@@ -241,6 +251,7 @@ func (n *NIC) dmaLand(a any) {
 		return
 	}
 	p.Arrived = n.eng.Now()
+	n.aud.RingAccept()
 	qu.ring = append(qu.ring, p)
 	n.maybeInterrupt(q)
 }
@@ -285,6 +296,7 @@ func (n *NIC) Poll(q, max int) []*Packet {
 	if max > len(qu.ring) {
 		max = len(qu.ring)
 	}
+	n.aud.Polled(max)
 	qu.batch = append(qu.batch[:0], qu.ring[:max]...)
 	// Shift the remainder down in place (no fresh backing array) and
 	// clear the vacated tail so the ring never pins recycled records.
@@ -321,6 +333,7 @@ func (n *NIC) Transmit(q int, p *Packet, segments int, done func(*Packet)) {
 	if segments < 1 {
 		segments = 1
 	}
+	n.aud.TxStart(segments)
 	t := n.getTxOp()
 	t.q = q
 	t.p = p
@@ -337,6 +350,7 @@ func (n *NIC) Transmit(q int, p *Packet, segments int, done func(*Packet)) {
 // the old per-segment closures would have run their `last` branch.
 func (n *NIC) txSegment(a any) {
 	t := a.(*txOp)
+	n.aud.TxSegment()
 	n.qs[t.q].txPending++
 	n.maybeInterrupt(t.q)
 	t.remaining--
@@ -359,6 +373,7 @@ func (n *NIC) TxClean(q, max int) int {
 	if max > qu.txPending {
 		max = qu.txPending
 	}
+	n.aud.TxCleaned(max)
 	qu.txPending -= max
 	return max
 }

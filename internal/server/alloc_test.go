@@ -25,7 +25,7 @@ func TestSteadyStateAllocsPerRequestZero(t *testing.T) {
 		Duration: 200 * sim.Millisecond,
 	}
 	s := New(cfg, nil)
-	res := s.Run() // warm every pool and high-water mark
+	res, _ := s.Run() // warm every pool and high-water mark
 	if res.Completed == 0 {
 		t.Fatal("warmup run completed no requests")
 	}
@@ -54,6 +54,52 @@ func TestSteadyStateAllocsPerRequestZero(t *testing.T) {
 	}
 }
 
+// TestSteadyStateAllocsZeroWithAudit repeats the allocation gate with
+// the invariant auditor enabled: every audit hook on the per-request
+// path is a counter bump on pre-sized state, so watching a warmed run
+// must still cost zero allocations per request.
+func TestSteadyStateAllocsZeroWithAudit(t *testing.T) {
+	cfg := Config{
+		Seed:     9,
+		Profile:  workload.Memcached(),
+		Level:    workload.Low,
+		Warmup:   100 * sim.Millisecond,
+		Duration: 200 * sim.Millisecond,
+		Audit:    true,
+	}
+	s := New(cfg, nil)
+	res, _ := s.Run()
+	if res.Completed == 0 {
+		t.Fatal("warmup run completed no requests")
+	}
+	if res.Audit == nil || res.Audit.Failed() {
+		t.Fatalf("audited warmup run not clean: %v", res.Audit)
+	}
+
+	var total uint64
+	for _, k := range s.Kernels {
+		total += k.Counters().Completed
+	}
+	end := s.Eng.Now()
+	const chunk = 20 * sim.Millisecond
+	avg := testing.AllocsPerRun(10, func() {
+		end += sim.Time(chunk)
+		s.Eng.Run(end)
+	})
+	var after uint64
+	for _, k := range s.Kernels {
+		after += k.Counters().Completed
+	}
+	if after <= total {
+		t.Fatalf("measured window completed no requests (%d -> %d)", total, after)
+	}
+	if avg != 0 {
+		perReq := avg * 10 / float64(after-total)
+		t.Fatalf("audited steady state allocates: %.1f allocs per 20ms chunk (~%.4f allocs/request, %d requests)",
+			avg, perReq, after-total)
+	}
+}
+
 // TestPoolingPhysicsNeutral proves the allocation machinery (request and
 // packet pools, generator batch pre-sampling) is invisible to the
 // simulation: a seeded run with pooling and batching disabled must
@@ -69,7 +115,7 @@ func TestPoolingPhysicsNeutral(t *testing.T) {
 	run := func(disable bool) []byte {
 		cfg := base
 		cfg.DisablePooling = disable
-		res := New(cfg, nil).Run()
+		res, _ := New(cfg, nil).Run()
 		b, err := json.Marshal(res)
 		if err != nil {
 			t.Fatal(err)
@@ -138,7 +184,7 @@ func TestWarmupResponsesNeverCounted(t *testing.T) {
 			inWarmup++
 		}
 	}
-	res := s.Run()
+	res, _ := s.Run()
 	if inWarmup == 0 {
 		t.Fatal("no responses completed during warmup; test is vacuous")
 	}
@@ -163,7 +209,7 @@ func TestZeroWarmupCountsFromInstantZero(t *testing.T) {
 	if s.Cfg.Warmup != 0 {
 		t.Fatalf("negative warmup should clamp to zero, got %v", s.Cfg.Warmup)
 	}
-	res := s.Run()
+	res, _ := s.Run()
 	if res.Summary.N == 0 {
 		t.Fatal("zero-warmup run recorded no responses (measFrom==0 sentinel bug)")
 	}

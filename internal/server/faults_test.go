@@ -196,7 +196,7 @@ func TestWatchdogSurfacesThroughServer(t *testing.T) {
 	idle, _ := governor.NewIdlePolicy("menu")
 	s := New(cfg, idle)
 	s.AttachPolicy(governor.NewStack(s.Eng, s.Proc, governor.Performance{}, 0))
-	res := s.Run()
+	res, _ := s.Run()
 	if err := s.Err(); !errors.Is(err, sim.ErrWatchdog) {
 		t.Fatalf("Err() = %v, want ErrWatchdog", err)
 	}

@@ -7,8 +7,10 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 
+	"nmapsim/internal/audit"
 	"nmapsim/internal/cpu"
 	"nmapsim/internal/faults"
 	"nmapsim/internal/kernel"
@@ -91,6 +93,14 @@ type Config struct {
 	// diagnostic once this many events have fired (0 = unlimited). See
 	// Server.Err.
 	MaxEvents uint64
+	// Audit enables the run-time invariant auditor (package audit): the
+	// conservation laws of the datapath are checked at event granularity
+	// and at run end, Result carries the Audit report, and Run returns
+	// an error when any invariant — including the RequestAccounting
+	// identity — is violated. Audited physics are byte-identical to
+	// unaudited physics: the hooks add no events, draw no randomness and
+	// allocate nothing on the steady-state path.
+	Audit bool
 }
 
 func (c Config) withDefaults() Config {
@@ -218,6 +228,10 @@ type Result struct {
 	SockDrops uint64
 	// PerCore breaks the run down by core (whole-run cumulative).
 	PerCore []CoreStats
+	// Audit is the invariant auditor's end-of-run report, nil unless
+	// Config.Audit is set. Everything else in Result is byte-identical
+	// with the auditor on or off.
+	Audit *audit.Report `json:",omitempty"`
 }
 
 // RequestAccounting is the client-side ledger of every request issued
@@ -305,6 +319,10 @@ type Server struct {
 	retry     workload.RetryConfig
 	timeoutFn func(any)
 	acct      RequestAccounting
+	// aud is the invariant auditor, nil unless Config.Audit is set.
+	// Every hook on it is nil-receiver safe, so the datapath calls it
+	// unconditionally.
+	aud *audit.Auditor
 	// live independently counts requests issued but not yet terminal
 	// (completed, timed out, or lost). It is tracked on its own rather
 	// than derived from the other counters so the accounting-identity
@@ -359,6 +377,11 @@ func New(cfg Config, idle kernel.IdlePolicy) *Server {
 		eng.SetWatchdog(cfg.MaxEvents, 0)
 	}
 	s.NIC.OnRxDrop = s.onRxDrop
+	if cfg.Audit {
+		s.aud = audit.New(eng, cfg.Model.NumCores, cfg.Model.MaxP(), cfg.Model.MaxPowerW())
+		s.Proc.SetAuditor(s.aud)
+		s.NIC.SetAuditor(s.aud)
+	}
 	kcfg := cfg.Kernel
 	if cfg.SockQCap > 0 && kcfg.SockQCap == 0 {
 		kcfg.SockQCap = cfg.SockQCap
@@ -368,6 +391,7 @@ func New(cfg Config, idle kernel.IdlePolicy) *Server {
 		k.AppCycles = appCost
 		k.OnAppComplete = s.complete
 		k.OnSockDrop = s.dropCopy
+		k.SetAuditor(s.aud)
 		s.Kernels = append(s.Kernels, k)
 	}
 	s.Gen = &workload.Generator{
@@ -425,12 +449,14 @@ func (s *Server) ingress(r *workload.Request) {
 // against the bound deliver callback, so the steady-state path
 // allocates nothing.
 func (s *Server) send(r *workload.Request) {
+	s.aud.ClientSend()
 	r.Attempts++
 	if s.retry.Enabled() {
 		r.Timer = s.Eng.ScheduleArg(s.retry.RTO(r.Attempts), s.timeoutFn, r)
 	}
 	r.Pending++
 	if s.inj.DropWire() {
+		s.aud.WireDropReq()
 		s.dropCopy(r)
 		return
 	}
@@ -514,11 +540,14 @@ func (s *Server) complete(r *workload.Request) {
 // network traversal to the client — unless the wire loses the response.
 func (s *Server) txDone(p *nic.Packet) {
 	r := p.Payload
+	s.aud.TxDone()
 	s.NIC.PutPacket(p)
 	if s.inj.DropWire() {
+		s.aud.WireDropResp()
 		s.dropCopy(r)
 		return
 	}
+	s.aud.RespSched()
 	s.Eng.ScheduleArg(s.netDelay(), s.respFn, r)
 }
 
@@ -529,6 +558,7 @@ func (s *Server) txDone(p *nic.Packet) {
 // recycled once the last copy is gone.
 func (s *Server) respond(a any) {
 	r := a.(*workload.Request)
+	s.aud.RespArrived()
 	r.Pending--
 	if r.Done == 0 && !r.TimedOut && !r.Lost {
 		r.Done = s.Eng.Now()
@@ -569,8 +599,18 @@ func (s *Server) Start() {
 // the harness cancelled it), or nil for a clean run.
 func (s *Server) Err() error { return s.Eng.Err() }
 
-// Run executes warmup + measurement and returns the result.
-func (s *Server) Run() Result {
+// Auditor returns the run-time invariant auditor (nil unless
+// Config.Audit is set) — exposed so tests can reach its corruption
+// hooks and violation log.
+func (s *Server) Auditor() *audit.Auditor { return s.aud }
+
+// Run executes warmup + measurement and returns the result. The error
+// is non-nil when the run aborted early (engine watchdog) or, with
+// Config.Audit set, when any audited invariant — including the
+// RequestAccounting identity — was violated. The Result is valid either
+// way: an aborted or inconsistent run still summarises whatever
+// happened before the fault.
+func (s *Server) Run() (Result, error) {
 	s.Start()
 	s.Eng.Run(sim.Time(s.Cfg.Warmup))
 	s.measFrom = s.Eng.Now()
@@ -578,7 +618,8 @@ func (s *Server) Run() Result {
 	s.baseline = s.Proc.PackageEnergyJ()
 	end := sim.Time(s.Cfg.Warmup + s.Cfg.Duration)
 	s.Eng.Run(end)
-	return s.Collect()
+	res := s.Collect()
+	return res, errors.Join(s.Eng.Err(), res.Audit.Err())
 }
 
 // Collect summarises the measured window (Run calls it; experiments that
@@ -610,6 +651,7 @@ func (s *Server) Collect() Result {
 	if window > 0 {
 		res.AvgPowerW = energy / window
 	}
+	var final audit.Final
 	for i, c := range s.Proc.Cores {
 		res.Transitions += c.Transitions()
 		acct := c.Snapshot()
@@ -631,6 +673,37 @@ func (s *Server) Collect() Result {
 			cs.CC0Frac = float64(acct.CC0Ns) / elapsed
 		}
 		res.PerCore = append(res.PerCore, cs)
+		if s.aud != nil {
+			final.CoreBusyNs = append(final.CoreBusyNs, acct.BusyNs)
+			final.CoreCC0Ns = append(final.CoreCC0Ns, acct.CC0Ns)
+			final.CoreCC6 = append(final.CoreCC6, acct.CC6Entries)
+			final.CoreTrans = append(final.CoreTrans, c.Transitions())
+			final.CoreEnergyJ = append(final.CoreEnergyJ, acct.EnergyJ)
+		}
+	}
+	if s.aud != nil {
+		final.Issued = reqs.Issued
+		final.Completed = reqs.Completed
+		final.Retransmits = reqs.Retransmits
+		final.TimedOut = reqs.TimedOut
+		final.Lost = reqs.Lost
+		final.InFlight = reqs.InFlight
+		final.KernelCompleted = completed
+		final.NICDrops = res.Drops
+		final.KernelSockDrops = sockDrops
+		final.FaultWireDrops = res.Faults.WireDrops
+		final.PackageEnergyJ = energy + s.baseline
+		final.BaselineEnergyJ = s.baseline
+		for q := 0; q < s.Cfg.Model.NumCores; q++ {
+			final.RingResidual += uint64(s.NIC.QueueLen(q))
+			final.TxPendingResidual += uint64(s.NIC.TxPending(q))
+		}
+		for _, k := range s.Kernels {
+			final.SockQResidual += uint64(k.SockQLen())
+			final.AppResidual += uint64(k.AppInFlight())
+			final.PollResidual += uint64(k.PollInFlight())
+		}
+		res.Audit = s.aud.Finalize(final)
 	}
 	return res
 }

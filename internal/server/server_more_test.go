@@ -23,7 +23,7 @@ func TestTinyRingOverflowsGracefully(t *testing.T) {
 	s := New(cfg, idle)
 	// powersave pins Pmin, guaranteeing kernel saturation during bursts.
 	s.AttachPolicy(governor.NewStack(s.Eng, s.Proc, governor.Powersave{Model: s.Cfg.Model}, 0))
-	res := s.Run()
+	res, _ := s.Run()
 	if res.Drops == 0 {
 		t.Fatal("expected ring drops with a 16-entry ring at high load on Pmin")
 	}
@@ -45,7 +45,8 @@ func TestKernelCostOverrideSlowsServer(t *testing.T) {
 		idle, _ := governor.NewIdlePolicy("menu")
 		s := New(cfg, idle)
 		s.AttachPolicy(governor.NewStack(s.Eng, s.Proc, governor.Performance{}, 0))
-		return s.Run().Summary.P99
+		res, _ := s.Run()
+		return res.Summary.P99
 	}
 	if a, b := runP99(base), runP99(slow); b <= a {
 		t.Fatalf("raising the kernel per-packet cost did not raise P99: %v vs %v", a, b)
@@ -70,7 +71,8 @@ func TestChipWideUsesMoreEnergyThanPerCore(t *testing.T) {
 		idle, _ := governor.NewIdlePolicy("menu")
 		s := New(cfg, idle)
 		s.AttachPolicy(governor.NewStack(s.Eng, s.Proc, governor.Ondemand{Model: s.Cfg.Model}, 0))
-		return s.Run()
+		res, _ := s.Run()
+		return res
 	}
 	per := run(false)
 	chip := run(true)
@@ -149,7 +151,7 @@ func TestDifferentProcessorModel(t *testing.T) {
 		t.Fatalf("E5-2620v4 server has %d kernels, want 8", len(s.Kernels))
 	}
 	s.AttachPolicy(governor.NewStack(s.Eng, s.Proc, governor.Performance{}, 0))
-	res := s.Run()
+	res, _ := s.Run()
 	if res.Summary.N == 0 {
 		t.Fatal("no results on the E5 model")
 	}

@@ -37,7 +37,11 @@ func runWith(t *testing.T, cfg Config, govName string, idleName string) Result {
 		t.Fatalf("unknown governor %q", govName)
 	}
 	s.AttachPolicy(governor.NewStack(s.Eng, s.Proc, g, 10*sim.Millisecond))
-	return s.Run()
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
 func TestLowLoadPerformanceMeetsSLO(t *testing.T) {
@@ -135,7 +139,7 @@ func TestWarmupExcludedFromMeasurement(t *testing.T) {
 	idle, _ := governor.NewIdlePolicy("menu")
 	s := New(cfg, idle)
 	s.AttachPolicy(governor.NewStack(s.Eng, s.Proc, governor.Performance{}, 0))
-	res := s.Run()
+	res, _ := s.Run()
 	// Total completions include warmup; measured histogram must be
 	// strictly smaller.
 	if uint64(res.Summary.N) >= res.Completed {

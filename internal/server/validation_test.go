@@ -53,7 +53,7 @@ func TestValidationMD1Queueing(t *testing.T) {
 	idle, _ := governor.NewIdlePolicy("disable") // no wake latencies
 	s := New(cfg, idle)
 	s.AttachPolicy(governor.NewStack(s.Eng, s.Proc, governor.Performance{}, 0))
-	res := s.Run()
+	res, _ := s.Run()
 
 	kcfg := kernel.DefaultConfig()
 	svcCycles := kcfg.PerPktCycles + kcfg.TxCleanCycles + prof.MeanAppCycles
@@ -92,7 +92,7 @@ func TestValidationLittlesLaw(t *testing.T) {
 	idle, _ := governor.NewIdlePolicy("menu")
 	s := New(cfg, idle)
 	s.AttachPolicy(governor.NewStack(s.Eng, s.Proc, governor.Performance{}, 0))
-	res := s.Run()
+	res, _ := s.Run()
 	want := 400_000 * 0.5
 	got := float64(res.Summary.N)
 	if math.Abs(got-want)/want > 0.05 {

@@ -357,6 +357,11 @@ func (e *Engine) Abort(err error) {
 // Abort), or nil for a healthy engine.
 func (e *Engine) Err() error { return e.err }
 
+// Watchdog returns the armed watchdog bounds (zero = disabled).
+func (e *Engine) Watchdog() (maxEvents uint64, maxTime Time) {
+	return e.maxEvents, e.maxTime
+}
+
 // ErrWatchdog tags watchdog aborts; errors.Is(eng.Err(), sim.ErrWatchdog)
 // distinguishes a runaway run from an external Abort.
 var ErrWatchdog = errors.New("sim: watchdog tripped")
