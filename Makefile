@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-compare fault-smoke determinism-gate fuzz-smoke clean
+.PHONY: ci vet build test race bench bench-compare fault-smoke failover-smoke determinism-gate fuzz-smoke clean
 
-ci: vet build race fault-smoke determinism-gate fuzz-smoke bench-compare bench
+ci: vet build race fault-smoke failover-smoke determinism-gate fuzz-smoke bench-compare bench
 
 # Fault-injection smoke matrix: the loss/retry/throttle/watchdog paths
 # run under the race detector, then one figure regenerates end to end
@@ -16,6 +16,23 @@ fault-smoke:
 		-run 'Fault|Retry|Overload|WireLoss|LostIRQ|SockQCap|Watchdog|Throttle|Abort' \
 		./internal/sim/ ./internal/faults/ ./internal/cpu/ ./internal/server/ ./internal/experiments/
 	$(GO) run ./cmd/nmapsim -quick -faults $(FAULT_SPEC) -rto 20ms fig2 > /dev/null
+
+# Hard-fault failover matrix: core crash/recovery, queue stalls, RSS
+# re-steering and load shedding under the race detector, then the
+# resilience figure regenerates twice under a scheduled core crash and
+# must produce identical bytes (crash choreography is deterministic).
+CRASH_SPEC = corecrash=1@150ms:100ms,queuestall=2@180ms:40ms
+failover-smoke:
+	$(GO) test -race -count=1 \
+		-run 'Crash|Failover|Resteer|ReSteer|Shed|Stall|Offline|Online|Adopt|Resilience|HardFault' \
+		./internal/faults/ ./internal/cpu/ ./internal/nic/ ./internal/kernel/ \
+		./internal/governor/ ./internal/audit/ ./internal/server/ ./internal/experiments/ ./internal/fuzzer/
+	$(GO) build -o .failover-nmapsim ./cmd/nmapsim
+	./.failover-nmapsim -quick -audit fig-resilience > .failover-a.txt
+	./.failover-nmapsim -quick -audit fig-resilience > .failover-b.txt
+	cmp .failover-a.txt .failover-b.txt
+	./.failover-nmapsim -quick -faults $(CRASH_SPEC) -rto 20ms -audit fig9 > /dev/null
+	rm -f .failover-nmapsim .failover-a.txt .failover-b.txt
 
 # Determinism gate: the same faulted configuration must render the same
 # bytes twice — fault schedule, retransmissions, and physics included —

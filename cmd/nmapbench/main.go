@@ -26,6 +26,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"testing"
 	"time"
 
@@ -266,14 +267,19 @@ func runCompare(file string) {
 		Engine:   engineBenches(),
 		EndToEnd: measureEndToEnd(),
 	}
-	for name, now := range cur.Engine {
-		prev := old.Engine[name]
-		fmt.Printf("%-20s %8.1f ns/op (baseline %8.1f)  %d allocs/op (baseline %d)\n",
-			name, now.NsPerOp, prev.NsPerOp, now.AllocsPerOp, prev.AllocsPerOp)
+	fmt.Printf("%-32s %12s %12s %9s\n", "metric", "baseline", "current", "delta")
+	names := make([]string, 0, len(cur.Engine))
+	for name := range cur.Engine {
+		names = append(names, name)
 	}
-	fmt.Printf("%-20s %.4f allocs/request (baseline %.4f), %.1f sim-s/wall-s\n",
-		"end_to_end", cur.EndToEnd.AllocsPerRequest, old.EndToEnd.AllocsPerRequest,
-		cur.EndToEnd.SimPerWallSecond)
+	sort.Strings(names)
+	for _, name := range names {
+		now, prev := cur.Engine[name], old.Engine[name]
+		printDelta(name+" ns/op", prev.NsPerOp, now.NsPerOp)
+		printDelta(name+" allocs/op", float64(prev.AllocsPerOp), float64(now.AllocsPerOp))
+	}
+	printDelta("end_to_end allocs/request", old.EndToEnd.AllocsPerRequest, cur.EndToEnd.AllocsPerRequest)
+	printDelta("end_to_end sim-s/wall-s", old.EndToEnd.SimPerWallSecond, cur.EndToEnd.SimPerWallSecond)
 	if bad := compareBaselines(old, cur); len(bad) > 0 {
 		fmt.Fprintf(os.Stderr, "nmapbench: %d regression(s) vs %s:\n", len(bad), file)
 		for _, b := range bad {
@@ -282,6 +288,21 @@ func runCompare(file string) {
 		os.Exit(1)
 	}
 	fmt.Printf("PASS: no regressions vs %s\n", file)
+}
+
+// printDelta emits one baseline/current/percent-change row of the
+// -compare table. A zero baseline has no meaningful percentage, so the
+// absolute change is shown instead.
+func printDelta(name string, prev, now float64) {
+	delta := "n/a"
+	if prev != 0 {
+		delta = fmt.Sprintf("%+.1f%%", (now/prev-1)*100)
+	} else if now != 0 {
+		delta = fmt.Sprintf("%+.4g", now-prev)
+	} else {
+		delta = "+0.0%"
+	}
+	fmt.Printf("%-32s %12.4g %12.4g %9s\n", name, prev, now, delta)
 }
 
 func main() {

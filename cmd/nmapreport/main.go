@@ -5,7 +5,7 @@
 // Usage:
 //
 //	nmapreport [-app memcached|nginx|both] [-policies p1,p2,...]
-//	           [-seeds N] [-dur MS] [-cdf] [-o FILE]
+//	           [-seeds N] [-dur MS] [-cdf] [-faults SPEC] [-audit] [-o FILE]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"nmapsim/internal/experiments"
+	"nmapsim/internal/faults"
 	"nmapsim/internal/server"
 	"nmapsim/internal/sim"
 	"nmapsim/internal/workload"
@@ -30,8 +31,23 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	parallel := flag.Int("parallel", 0,
 		"simulation cells in flight at once (0 = one per CPU, 1 = serial)")
+	faultSpec := flag.String("faults", "",
+		"fault-injection spec applied to every cell, e.g. loss=0.01,corecrash=1@250ms:100ms")
+	auditOn := flag.Bool("audit", false,
+		"run every cell under the invariant auditor (fails the run on any violation)")
+	auditReport := flag.Bool("audit-report", false,
+		"with -audit: print the per-rule check/violation summary to stderr after the run")
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
+	fcfg, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nmapreport: %v\n", err)
+		os.Exit(2)
+	}
+	experiments.SetInjection(fcfg, workload.RetryConfig{})
+	if *auditOn || *auditReport {
+		experiments.SetAudit(true)
+	}
 
 	var profs []*workload.Profile
 	switch *app {
@@ -68,6 +84,11 @@ func main() {
 		}
 	}
 	results, err := experiments.RunSpecs(specs)
+	if *auditReport {
+		if rep := experiments.AuditReport(); rep != nil {
+			fmt.Fprint(os.Stderr, rep)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nmapreport: %v\n", err)
 		os.Exit(1)

@@ -8,7 +8,7 @@
 //	nmapsim -list
 //
 // Experiments: fig2 fig3 fig4 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// fig14 fig15 fig16 table1 table2 ablation-perrequest
+// fig14 fig15 fig16 fig-resilience table1 table2 ablation-perrequest
 // ablation-thresholds ablation-chipwide all
 package main
 
@@ -115,6 +115,14 @@ var catalog = []experiment{
 			return err
 		}
 		fmt.Println(experiments.RenderFig16(figs))
+		return nil
+	}},
+	{"fig-resilience", "P99 + shed rate through a core crash and recovery", func(q experiments.Quality) error {
+		fig, err := experiments.FigResilience(q)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderResilience(fig))
 		return nil
 	}},
 	{"ablation-perrequest", "per-request DVFS vs NMAP under re-transition latency (5.1)",

@@ -34,7 +34,9 @@ func main() {
 	parallel := flag.Int("parallel", 0,
 		"simulation cells in flight at once (0 = one per CPU, 1 = serial)")
 	faultSpec := flag.String("faults", "",
-		"fault-injection spec, e.g. loss=0.01,throttle=10/20ms@12")
+		"fault-injection spec, e.g. loss=0.01,throttle=10/20ms@12,corecrash=1@250ms:100ms")
+	auditOn := flag.Bool("audit", false,
+		"run every point under the invariant auditor (fails the run on any violation)")
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
 	fcfg, err := faults.ParseSpec(*faultSpec)
@@ -43,6 +45,7 @@ func main() {
 		os.Exit(2)
 	}
 	experiments.SetInjection(fcfg, workload.RetryConfig{})
+	experiments.SetAudit(*auditOn)
 
 	var prof *workload.Profile
 	switch *app {

@@ -53,6 +53,7 @@ const (
 	RuleTimeMonotonic      Rule = "time-monotonic"
 	RuleWatchdogCoherence  Rule = "watchdog-coherence"
 	RuleRequestAccounting  Rule = "request-accounting"
+	RuleFailureDomain      Rule = "failure-domain"
 )
 
 // Internal rule indices: hot-path counters index a fixed array rather
@@ -67,6 +68,7 @@ const (
 	rTime
 	rWatchdog
 	rLedger
+	rFailure
 	numRules
 )
 
@@ -80,6 +82,7 @@ var ruleNames = [numRules]Rule{
 	rTime:     RuleTimeMonotonic,
 	rWatchdog: RuleWatchdogCoherence,
 	rLedger:   RuleRequestAccounting,
+	rFailure:  RuleFailureDomain,
 }
 
 // Violation is one recorded invariant breach.
@@ -198,10 +201,14 @@ func (r *Report) Clone() *Report {
 }
 
 // C-state indices used by the per-core mirror (match cpu.CC0/CC1/CC6).
+// stOff is the mirror-only fourth state: a hard-failed core is in none
+// of the architectural C-states, and every applied action observed
+// while the mirror sits here is a failure-domain violation.
 const (
 	stCC0 = 0
 	stCC1 = 1
 	stCC6 = 2
+	stOff = 3
 )
 
 // NAPI mirror states.
@@ -218,10 +225,10 @@ var napiNames = [...]string{"idle", "softirq-scheduled", "ksoftirqd"}
 // model's own fields, so bookkeeping drift between the two is exactly
 // what gets detected.
 type coreAudit struct {
-	// C-state mirror and residency integration.
+	// C-state mirror and residency integration (index 3 = offline).
 	cstate  int
 	lastC   sim.Time
-	resid   [3]int64
+	resid   [4]int64
 	entered [3]bool
 	cc6     int64
 
@@ -290,6 +297,16 @@ type Auditor struct {
 	wireDropRsp uint64 // response copies lost on the wire
 	respSched   uint64 // response copies on the return traversal
 	respArrived uint64 // response copies that reached the client
+
+	// Hard-fault counters: work failed into the ledger because a
+	// component died, plus the offline/online transition tally.
+	ringCrashFail uint64 // ring packets failed when their queue died
+	crashPollFail uint64 // mid-poll batch payloads failed by Crash
+	crashAppFail  uint64 // app-held requests failed by Crash
+	crashSockFail uint64 // adoption-overflow requests failed by Adopt
+	shed          uint64 // requests refused by the admission controller
+	coreOffline   uint64 // observed core-offline transitions
+	coreOnline    uint64 // observed core-online transitions
 }
 
 // maxDetail bounds the violations kept with full detail; the counters
@@ -472,6 +489,128 @@ func (a *Auditor) TxCleaned(n int) {
 	a.txCleaned += uint64(n)
 }
 
+// offlineGuard checks that an applied action is not happening on a core
+// whose mirror says it is hard-failed. Called from every applied-effect
+// hook; governor *requests* targeting an offline core are deliberately
+// not violations (non-failure-aware policies keep requesting, and the
+// processor is the layer that must refuse to apply).
+func (a *Auditor) offlineGuard(core int, what string) {
+	a.checks[rFailure]++
+	if a.pc[core].cstate == stOff {
+		a.violate(rFailure, core, "%s on an offline core", what)
+	}
+}
+
+// ---- hard-fault hooks ----------------------------------------------------
+
+// RingCrashFail records a ring packet failed into the ledger because its
+// queue's core hard-failed.
+func (a *Auditor) RingCrashFail() {
+	if a == nil {
+		return
+	}
+	a.checks[rPacket]++
+	a.ringCrashFail++
+}
+
+// CrashPollFail records a mid-poll batch payload failed by a core crash.
+func (a *Auditor) CrashPollFail(core int) {
+	if a == nil {
+		return
+	}
+	a.checks[rPacket]++
+	a.crashPollFail++
+}
+
+// CrashAppFail records an app-held request failed by a core crash.
+func (a *Auditor) CrashAppFail(core int) {
+	if a == nil {
+		return
+	}
+	a.checks[rPacket]++
+	a.crashAppFail++
+}
+
+// CrashSockFail records a migrated request failed because the adoptive
+// core's socket queue was full.
+func (a *Auditor) CrashSockFail(core int) {
+	if a == nil {
+		return
+	}
+	a.checks[rPacket]++
+	a.crashSockFail++
+}
+
+// ShedReq records a request refused by the admission controller.
+func (a *Auditor) ShedReq() {
+	if a == nil {
+		return
+	}
+	a.checks[rLedger]++
+	a.shed++
+}
+
+// NAPIOrphan records a crash tearing down core's live NAPI context;
+// legal only while a context actually exists.
+func (a *Auditor) NAPIOrphan(core int) {
+	if a == nil {
+		return
+	}
+	a.checks[rNAPI]++
+	pc := &a.pc[core]
+	if pc.napi == napiIdle {
+		a.violate(rNAPI, core, "napi context orphaned with no session in progress")
+	}
+	pc.napi = napiIdle
+}
+
+// CoreOffline records core hard-failing. fromC is the C-state the core
+// believes it died from — cross-checked against the mirror — and the
+// teardown is legal only from a settled state: no exec in flight, not
+// already offline.
+func (a *Auditor) CoreOffline(core, fromC int, energyJ float64) {
+	if a == nil {
+		return
+	}
+	a.checks[rFailure]++
+	pc := &a.pc[core]
+	now := a.eng.Now()
+	if pc.busy {
+		a.violate(rFailure, core, "core went offline with an exec in flight")
+	}
+	if pc.cstate == stOff {
+		a.violate(rFailure, core, "core went offline while already offline")
+	} else if pc.cstate != fromC {
+		a.violate(rFailure, core, "core reports dying from C%d but the audited state is C%d",
+			sleepName(fromC), sleepName(pc.cstate))
+	}
+	pc.resid[pc.cstate] += int64(now - pc.lastC)
+	pc.lastC = now
+	pc.cstate = stOff
+	pc.napi = napiIdle
+	a.coreOffline++
+	a.energyAt(core, energyJ)
+}
+
+// CoreOnline records core recovering from a hard fault; legal only from
+// the offline state, and the core comes back settled in CC0.
+func (a *Auditor) CoreOnline(core int, energyJ float64) {
+	if a == nil {
+		return
+	}
+	a.checks[rFailure]++
+	pc := &a.pc[core]
+	now := a.eng.Now()
+	if pc.cstate != stOff {
+		a.violate(rFailure, core, "core came online from C%d, not from offline", sleepName(pc.cstate))
+	}
+	pc.resid[pc.cstate] += int64(now - pc.lastC)
+	pc.lastC = now
+	pc.cstate = stCC0
+	a.coreOnline++
+	a.energyAt(core, energyJ)
+}
+
 // ---- kernel hooks --------------------------------------------------------
 
 // SockEnq records a request entering core's socket queue.
@@ -517,6 +656,7 @@ func (a *Auditor) NAPISchedule(core int) {
 	if a == nil {
 		return
 	}
+	a.offlineGuard(core, "softirq scheduled")
 	a.checks[rNAPI]++
 	pc := &a.pc[core]
 	if pc.napi != napiIdle {
@@ -531,6 +671,7 @@ func (a *Auditor) NAPIFold(core int) {
 	if a == nil {
 		return
 	}
+	a.offlineGuard(core, "hardirq fold")
 	a.checks[rNAPI]++
 	pc := &a.pc[core]
 	if pc.napi != napiKsoftirqd {
@@ -544,6 +685,7 @@ func (a *Auditor) NAPIPoll(core int) {
 	if a == nil {
 		return
 	}
+	a.offlineGuard(core, "poll pass")
 	a.checks[rNAPI]++
 	if pc := &a.pc[core]; pc.napi == napiIdle {
 		a.violate(rNAPI, core, "poll pass with no NAPI context scheduled")
@@ -555,6 +697,7 @@ func (a *Auditor) NAPIMigrate(core int) {
 	if a == nil {
 		return
 	}
+	a.offlineGuard(core, "ksoftirqd migration")
 	a.checks[rNAPI]++
 	pc := &a.pc[core]
 	if pc.napi != napiScheduled {
@@ -569,6 +712,7 @@ func (a *Auditor) NAPIComplete(core int) {
 	if a == nil {
 		return
 	}
+	a.offlineGuard(core, "napi complete")
 	a.checks[rNAPI]++
 	pc := &a.pc[core]
 	if pc.napi == napiIdle {
@@ -611,6 +755,7 @@ func (a *Auditor) ExecStart(core int, energyJ float64) {
 	if a == nil {
 		return
 	}
+	a.offlineGuard(core, "exec started")
 	a.checks[rCycle]++
 	pc := &a.pc[core]
 	if pc.busy {
@@ -655,6 +800,7 @@ func (a *Auditor) CStateSleep(core, st int, energyJ float64) {
 	if a == nil {
 		return
 	}
+	a.offlineGuard(core, "C-state entry")
 	a.checks[rCState]++
 	pc := &a.pc[core]
 	now := a.eng.Now()
@@ -686,6 +832,7 @@ func (a *Auditor) CStateWake(core, from int, energyJ float64) {
 	if a == nil {
 		return
 	}
+	a.offlineGuard(core, "C-state wake")
 	a.checks[rCState]++
 	pc := &a.pc[core]
 	now := a.eng.Now()
@@ -712,6 +859,7 @@ func (a *Auditor) PStateApplied(core, p int, energyJ float64) {
 	if a == nil {
 		return
 	}
+	a.offlineGuard(core, "P-state transition applied")
 	a.checks[rPState]++
 	pc := &a.pc[core]
 	if p < 0 || p > a.maxP {
@@ -753,13 +901,20 @@ type Final struct {
 	TxPendingResidual uint64 // Σ uncleaned Tx completions
 
 	// Client ledger (RequestAccounting, with InFlight already set).
-	Issued, Completed, Retransmits, TimedOut, Lost, InFlight uint64
+	Issued, Completed, Retransmits, TimedOut, Lost, Shed, InFlight uint64
 
 	// Cross-check counters from the models' own books.
 	KernelCompleted uint64 // Σ kernel Counters().Completed
 	NICDrops        uint64 // NIC TotalDrops
 	KernelSockDrops uint64 // Σ kernel Counters().SockDrops
 	FaultWireDrops  uint64 // faults.Stats.WireDrops
+
+	// Hard-fault cross-checks from the models' own books.
+	CrashRingFails   uint64 // NIC TotalCrashFails
+	KernelCrashFails uint64 // Σ kernel Counters().CrashFails
+	OfflineCores     uint64 // cores offline at the finalize instant
+	CoreCrashes      uint64 // faults.Stats.CoreCrashes
+	CoreRecoveries   uint64 // faults.Stats.CoreRecoveries
 
 	// Per-core cumulative counters from cpu.Core snapshots taken at the
 	// finalize instant.
@@ -806,15 +961,18 @@ func (a *Auditor) Finalize(f Final) *Report {
 		"more copies reached DMA than the client sent: %d + %d > %d", a.wireDropReq, a.nicDeliver, send)
 	a.check(rPacket, -1, a.nicDeliver >= accept+a.ringDrop,
 		"ring accepted+dropped (%d+%d) exceeds DMA-delivered (%d)", accept, a.ringDrop, a.nicDeliver)
-	a.check(rPacket, -1, accept == a.polled+f.RingResidual,
-		"ring accepted != polled + ring residual: %d != %d + %d", accept, a.polled, f.RingResidual)
-	a.check(rPacket, -1, a.polled == a.sockEnq+a.sockDrop+f.PollResidual,
-		"polled != sockq-enqueued + sockq-dropped + in-poll residual: %d != %d + %d + %d",
-		a.polled, a.sockEnq, a.sockDrop, f.PollResidual)
-	a.check(rPacket, -1, a.sockEnq == a.appStart+f.SockQResidual,
-		"sockq-enqueued != app-dequeued + sockq residual: %d != %d + %d", a.sockEnq, a.appStart, f.SockQResidual)
-	a.check(rPacket, -1, a.appStart == a.appDone+f.AppResidual,
-		"app-dequeued != app-done + app residual: %d != %d + %d", a.appStart, a.appDone, f.AppResidual)
+	a.check(rPacket, -1, accept == a.polled+a.ringCrashFail+f.RingResidual,
+		"ring accepted != polled + crash-failed + ring residual: %d != %d + %d + %d",
+		accept, a.polled, a.ringCrashFail, f.RingResidual)
+	a.check(rPacket, -1, a.polled == a.sockEnq+a.sockDrop+a.crashPollFail+f.PollResidual,
+		"polled != sockq-enqueued + sockq-dropped + crash-failed + in-poll residual: %d != %d + %d + %d + %d",
+		a.polled, a.sockEnq, a.sockDrop, a.crashPollFail, f.PollResidual)
+	a.check(rPacket, -1, a.sockEnq == a.appStart+a.crashSockFail+f.SockQResidual,
+		"sockq-enqueued != app-dequeued + crash-failed + sockq residual: %d != %d + %d + %d",
+		a.sockEnq, a.appStart, a.crashSockFail, f.SockQResidual)
+	a.check(rPacket, -1, a.appStart == a.appDone+a.crashAppFail+f.AppResidual,
+		"app-dequeued != app-done + crash-failed + app residual: %d != %d + %d + %d",
+		a.appStart, a.appDone, a.crashAppFail, f.AppResidual)
 
 	// Response direction (tx mirrors rx).
 	a.check(rPacket, -1, a.txOps == a.appDone,
@@ -833,8 +991,9 @@ func (a *Auditor) Finalize(f Final) *Report {
 		"ledger completions (%d) exceed response arrivals (%d)", f.Completed, a.respArrived)
 
 	// Cross-checks against the models' own books.
-	a.check(rPacket, -1, send == f.Issued+f.Retransmits,
-		"client copies != ledger issued + retransmits: %d != %d + %d", send, f.Issued, f.Retransmits)
+	a.check(rPacket, -1, send == f.Issued+f.Retransmits-f.Shed,
+		"client copies != ledger issued + retransmits - shed: %d != %d + %d - %d",
+		send, f.Issued, f.Retransmits, f.Shed)
 	a.check(rPacket, -1, a.ringDrop == f.NICDrops,
 		"audited ring drops != NIC drop counter: %d != %d", a.ringDrop, f.NICDrops)
 	a.check(rPacket, -1, a.sockDrop == f.KernelSockDrops,
@@ -845,9 +1004,30 @@ func (a *Auditor) Finalize(f Final) *Report {
 		"audited app completions != kernel counter: %d != %d", a.appDone, f.KernelCompleted)
 
 	// The client request ledger identity, promoted to an enforced check.
-	a.check(rLedger, -1, f.Issued == f.Completed+f.TimedOut+f.Lost+f.InFlight,
-		"issued != completed + timed-out + lost + in-flight: %d != %d + %d + %d + %d",
-		f.Issued, f.Completed, f.TimedOut, f.Lost, f.InFlight)
+	a.check(rLedger, -1, f.Issued == f.Completed+f.TimedOut+f.Lost+f.Shed+f.InFlight,
+		"issued != completed + timed-out + lost + shed + in-flight: %d != %d + %d + %d + %d + %d",
+		f.Issued, f.Completed, f.TimedOut, f.Lost, f.Shed, f.InFlight)
+	a.check(rLedger, -1, a.shed == f.Shed,
+		"audited shed count != ledger shed: %d != %d", a.shed, f.Shed)
+
+	// Hard-fault cross-checks against the models' own books.
+	a.check(rFailure, -1, a.ringCrashFail == f.CrashRingFails,
+		"audited ring crash-fails != NIC counter: %d != %d", a.ringCrashFail, f.CrashRingFails)
+	a.check(rFailure, -1, a.crashPollFail+a.crashAppFail+a.crashSockFail == f.KernelCrashFails,
+		"audited kernel crash-fails != kernel counters: %d + %d + %d != %d",
+		a.crashPollFail, a.crashAppFail, a.crashSockFail, f.KernelCrashFails)
+	a.check(rFailure, -1, a.coreOffline == f.CoreCrashes,
+		"audited core-offline transitions != injector crashes: %d != %d", a.coreOffline, f.CoreCrashes)
+	a.check(rFailure, -1, a.coreOnline == f.CoreRecoveries,
+		"audited core-online transitions != injector recoveries: %d != %d", a.coreOnline, f.CoreRecoveries)
+	var offNow uint64
+	for i := range a.pc {
+		if a.pc[i].cstate == stOff {
+			offNow++
+		}
+	}
+	a.check(rFailure, -1, offNow == f.OfflineCores,
+		"mirror counts %d offline cores, processor reports %d", offNow, f.OfflineCores)
 
 	// Per-core cycle accounting and C-state legality against the cores'
 	// own piecewise integration.
@@ -868,9 +1048,9 @@ func (a *Auditor) Finalize(f Final) *Report {
 			a.check(rCycle, i, pc.resid[stCC0] == f.CoreCC0Ns[i],
 				"audited CC0 residency %dns != core integration %dns", pc.resid[stCC0], f.CoreCC0Ns[i])
 		}
-		elapsed := pc.resid[stCC0] + pc.resid[stCC1] + pc.resid[stCC6]
+		elapsed := pc.resid[stCC0] + pc.resid[stCC1] + pc.resid[stCC6] + pc.resid[stOff]
 		a.check(rCycle, i, elapsed == int64(now),
-			"C-state residencies sum to %dns, elapsed is %dns", elapsed, int64(now))
+			"C-state + offline residencies sum to %dns, elapsed is %dns", elapsed, int64(now))
 		a.check(rCycle, i, pc.busyNs <= pc.resid[stCC0],
 			"busy time %dns exceeds CC0 residency %dns", pc.busyNs, pc.resid[stCC0])
 		if i < len(f.CoreCC6) {

@@ -196,6 +196,42 @@ func (n *NMAP) periodic() {
 	}
 }
 
+// CoreOffline implements the server's failure-aware protocol: the dead
+// core's mode machine resets to CPU Utilisation Mode (clearing any
+// Network Intensive pin, so the suspension does not outlive the core)
+// and the fallback stack stops sampling it. Counters are flushed — a
+// corpse has no NAPI history.
+func (n *NMAP) CoreOffline(coreID int) {
+	c := n.cores[coreID]
+	c.pollCnt, c.intrCnt = 0, 0
+	if c.mode == NetworkIntensiveMode {
+		c.mode = CPUUtilMode
+		n.stack.Resume(coreID)
+	}
+	n.stack.CoreOffline(coreID)
+}
+
+// CoreOnline restarts the mode decision on a recovered core from a
+// clean slate: CPU Utilisation Mode, zero counters, and the fallback
+// stack sampling from the recovery instant.
+func (n *NMAP) CoreOnline(coreID int) {
+	c := n.cores[coreID]
+	c.pollCnt, c.intrCnt = 0, 0
+	c.mode = CPUUtilMode
+	n.stack.CoreOnline(coreID)
+}
+
+// CoreAdopted flushes the adoptive core's NAPI counters: it just
+// inherited a dead sibling's flows, so its interrupt/poll history no
+// longer predicts its load. The current mode is kept — a Network
+// Intensive pin is exactly right while absorbing a failover — and the
+// fallback stack rebases its utilisation window.
+func (n *NMAP) CoreAdopted(coreID int) {
+	c := n.cores[coreID]
+	c.pollCnt, c.intrCnt = 0, 0
+	n.stack.CoreAdopted(coreID)
+}
+
 // NMAPSimpl is the simplified flavour (§4.1): it boosts when ksoftirqd
 // wakes and falls back when ksoftirqd sleeps, requiring no thresholds or
 // profiling.
@@ -263,4 +299,28 @@ func (n *NMAPSimpl) KsoftirqdSleep(coreID int) {
 	if n.OnModeChange != nil {
 		n.OnModeChange(coreID, CPUUtilMode, n.eng.Now())
 	}
+}
+
+// CoreOffline implements the server's failure-aware protocol (see
+// NMAP.CoreOffline). The kernel emits a KsoftirqdSleep before the crash
+// settles when ksoftirqd owned the NAPI context, so the mode machine is
+// usually already back in CPU Utilisation Mode here.
+func (n *NMAPSimpl) CoreOffline(coreID int) {
+	c := n.cores[coreID]
+	if c.mode == NetworkIntensiveMode {
+		c.mode = CPUUtilMode
+		n.stack.Resume(coreID)
+	}
+	n.stack.CoreOffline(coreID)
+}
+
+// CoreOnline restarts a recovered core in CPU Utilisation Mode.
+func (n *NMAPSimpl) CoreOnline(coreID int) {
+	n.cores[coreID].mode = CPUUtilMode
+	n.stack.CoreOnline(coreID)
+}
+
+// CoreAdopted rebases the adoptive core's utilisation window.
+func (n *NMAPSimpl) CoreAdopted(coreID int) {
+	n.stack.CoreAdopted(coreID)
 }

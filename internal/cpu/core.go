@@ -119,6 +119,10 @@ type Core struct {
 	xfree       []*Exec      // spare Exec records (see getExec)
 	wakePenalty sim.Duration // CC6 cache-refill debt charged to next Exec
 	wakingUntil sim.Time     // end of the in-flight C-state exit (power accounting)
+	// offline marks a hard-failed core: it draws no power, accrues no
+	// CC0 residency, and may not execute, sleep, wake or change P-state
+	// until Online brings it back.
+	offline bool
 
 	// Accounting (piecewise integration; lastAcct is the last instant at
 	// which the accumulators were brought current).
@@ -184,6 +188,9 @@ func (c *Core) Transitions() int64 { return c.transCount }
 // power returns the instantaneous power draw in watts for the current
 // (cstate, pstate, busy) condition, per the PowerParams model.
 func (c *Core) power() float64 {
+	if c.offline {
+		return 0
+	}
 	pp := c.model.Power
 	ps := c.model.PStates[c.cur]
 	vmax := c.model.PStates[0].Volt
@@ -220,10 +227,51 @@ func (c *Core) settle() {
 	if c.busy {
 		c.busyNs += int64(dt)
 	}
-	if c.cstate == CC0 {
+	if c.cstate == CC0 && !c.offline {
 		c.cc0Ns += int64(dt)
 	}
 	c.lastAcct = now
+}
+
+// Offline reports whether the core is hard-failed.
+func (c *Core) Offline() bool { return c.offline }
+
+// GoOffline hard-fails the core. The teardown is C-state-legal: a core
+// may only die from a settled state, so the caller (the kernel's crash
+// path) must have cancelled any in-flight Exec first — cancelled work
+// fails into the request ledger, it never vanishes. Any in-flight
+// P-state transition or C-state exit is abandoned; from this instant
+// the core draws no power and accrues no CC0 residency.
+func (c *Core) GoOffline() {
+	if c.offline {
+		return
+	}
+	if c.active != nil {
+		panic("cpu: GoOffline while an Exec is active (cancel it first)")
+	}
+	c.settle()
+	c.aud.CoreOffline(c.ID, int(c.cstate), c.energyJ)
+	c.busy = false
+	c.pendingEv.Cancel()
+	c.pending = -1
+	c.wakePenalty = 0
+	c.wakingUntil = 0
+	c.cstate = CC0
+	c.offline = true
+}
+
+// GoOnline brings a hard-failed core back: it re-enters CC0 awake with
+// cold private caches, so the CC6-style cache-refill debt is charged to
+// its next execution.
+func (c *Core) GoOnline() {
+	if !c.offline {
+		return
+	}
+	c.settle()
+	c.offline = false
+	c.aud.CoreOnline(c.ID, c.energyJ)
+	pen := sim.Duration(float64(c.model.CC6FlushPenalty) * c.model.CC6FlushFraction)
+	c.wakePenalty += pen
 }
 
 // Acct is a snapshot of a core's cumulative accounting counters.
@@ -256,6 +304,12 @@ func (c *Core) Snapshot() Acct {
 func (c *Core) SetPState(p int) sim.Duration {
 	if p < 0 || p >= len(c.model.PStates) {
 		panic(fmt.Sprintf("cpu: P-state %d out of range for %s", p, c.model.Name))
+	}
+	if c.offline {
+		// A dead core holds no voltage: the request is dropped here and
+		// the coordination rule re-applies the recorded targets when the
+		// core comes back online.
+		return 0
 	}
 	if c.pending == p || (c.pending < 0 && c.cur == p) {
 		return 0
@@ -295,6 +349,9 @@ func (c *Core) SetPState(p int) sim.Duration {
 func (c *Core) StartExec(cycles float64, done func()) *Exec {
 	if c.active != nil {
 		panic("cpu: StartExec while another Exec is active")
+	}
+	if c.offline {
+		panic("cpu: StartExec on an offline core")
 	}
 	if c.cstate != CC0 {
 		panic("cpu: StartExec while core is sleeping")
@@ -348,6 +405,9 @@ func (c *Core) Sleep(s CState) {
 	if c.active != nil {
 		panic("cpu: Sleep while an Exec is active")
 	}
+	if c.offline {
+		panic("cpu: Sleep on an offline core")
+	}
 	c.settle()
 	c.aud.CStateSleep(c.ID, int(s), c.energyJ)
 	c.busy = false
@@ -361,6 +421,9 @@ func (c *Core) Sleep(s CState) {
 // the caller must wait before dispatching work. Waking from CC6 also arms
 // the cache-refill penalty charged to the next Exec (§5.2).
 func (c *Core) Wake() sim.Duration {
+	if c.offline {
+		panic("cpu: Wake on an offline core")
+	}
 	if c.cstate == CC0 {
 		return 0
 	}

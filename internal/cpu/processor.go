@@ -29,6 +29,13 @@ type Processor struct {
 	// it the moment the clamp lifts.
 	clamped []int
 
+	// offline marks hard-failed cores. Requests for an offline core are
+	// recorded but never applied, and the chip-wide coordination rule
+	// ranges over the survivors only — a dead core's stale request must
+	// not pin the package fast.
+	offline    []bool
+	offlineCnt int
+
 	// aud is the run's invariant auditor (nil = unaudited). Request and
 	// Throttle are the single choke points every policy goes through,
 	// so an out-of-range operating point from a custom governor is
@@ -44,6 +51,7 @@ func NewProcessor(m *Model, eng *sim.Engine, rng *sim.RNG) *Processor {
 	// cores whose governors actually ask for speed pull the package up.
 	p.requested = make([]int, m.NumCores)
 	p.clamped = make([]int, m.NumCores)
+	p.offline = make([]bool, m.NumCores)
 	for i := range p.requested {
 		p.requested[i] = m.MaxP()
 		p.clamped[i] = -1
@@ -86,17 +94,29 @@ func (p *Processor) effective(i, target int) int {
 func (p *Processor) apply() {
 	if p.PerCore() {
 		for i, c := range p.Cores {
+			if p.offline[i] {
+				continue
+			}
 			c.SetPState(p.effective(i, p.requested[i]))
 		}
 		return
 	}
-	best := p.requested[0]
-	for _, r := range p.requested[1:] {
-		if r < best {
+	best := -1
+	for i, r := range p.requested {
+		if p.offline[i] {
+			continue
+		}
+		if best < 0 || r < best {
 			best = r
 		}
 	}
+	if best < 0 {
+		return // every core offline; nothing to drive
+	}
 	for i, c := range p.Cores {
+		if p.offline[i] {
+			continue
+		}
 		c.SetPState(p.effective(i, best))
 	}
 }
@@ -136,6 +156,43 @@ func (p *Processor) Unthrottle(coreID int) {
 	p.clamped[coreID] = -1
 	p.apply()
 }
+
+// Offline hard-fails coreID: the core is torn down (C-state-legally)
+// and excluded from the DVFS coordination rule. Its last governor
+// request stays recorded, so the coordination rule can restore it when
+// the core comes back. The remaining cores are re-coordinated — on
+// chip-wide parts a dead core's stale fast request no longer pins the
+// package.
+func (p *Processor) Offline(coreID int) {
+	if p.offline[coreID] {
+		return
+	}
+	p.Cores[coreID].GoOffline()
+	p.offline[coreID] = true
+	p.offlineCnt++
+	p.apply()
+}
+
+// Online brings a hard-failed core back and re-applies the coordination
+// rule, which restores the core's recorded operating-point request.
+func (p *Processor) Online(coreID int) {
+	if !p.offline[coreID] {
+		return
+	}
+	p.Cores[coreID].GoOnline()
+	p.offline[coreID] = false
+	p.offlineCnt--
+	p.apply()
+}
+
+// IsOffline reports whether coreID is hard-failed.
+func (p *Processor) IsOffline(coreID int) bool { return p.offline[coreID] }
+
+// OnlineCount returns the number of cores currently online.
+func (p *Processor) OnlineCount() int { return len(p.Cores) - p.offlineCnt }
+
+// OfflineCount returns the number of cores currently offline.
+func (p *Processor) OfflineCount() int { return p.offlineCnt }
 
 // PackageEnergyJ settles all cores and returns the RAPL-style package
 // energy: core energy plus uncore power integrated over the run.

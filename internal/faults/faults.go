@@ -52,12 +52,46 @@ type Config struct {
 	// to (they may run slower, never faster). Zero clamps to the
 	// model's slowest state; the server assembly resolves that index.
 	ThrottlePState int
+	// CoreCrashes schedules hard core failures: at each entry's instant
+	// the named core goes offline (C-state-legal teardown, RSS
+	// re-steer, NAPI drain) and, if the entry carries a duration, comes
+	// back online that much later. Scheduled hard faults draw nothing
+	// from the PRNG, so a config with only hard faults armed past the
+	// run horizon is physics-identical to a faultless run.
+	CoreCrashes []CoreCrash
+	// QueueStalls schedules stuck Rx rings: the queue stops raising
+	// interrupts and returning polled packets for the stall window (DMA
+	// keeps landing packets, so the ring fills and overflows honestly).
+	QueueStalls []QueueStall
+}
+
+// CoreCrash schedules one hard core failure.
+type CoreCrash struct {
+	// Core is the core (== RSS queue) that dies.
+	Core int
+	// At is the simulated instant the crash fires.
+	At sim.Duration
+	// Duration is how long the core stays offline; zero means the crash
+	// is permanent for the rest of the run.
+	Duration sim.Duration
+}
+
+// QueueStall schedules one stuck-Rx-ring window.
+type QueueStall struct {
+	// Queue is the Rx queue that sticks.
+	Queue int
+	// At is the simulated instant the stall begins.
+	At sim.Duration
+	// Duration is the stall window (always bounded: a permanent stall
+	// is a core crash without the recovery story, spelled corecrash).
+	Duration sim.Duration
 }
 
 // Enabled reports whether any fault class is active.
 func (c Config) Enabled() bool {
 	return c.WireLossProb > 0 || c.IRQLossProb > 0 ||
-		c.IRQJitter > 0 || c.DMAJitter > 0 || c.ThrottleRate > 0
+		c.IRQJitter > 0 || c.DMAJitter > 0 || c.ThrottleRate > 0 ||
+		len(c.CoreCrashes) > 0 || len(c.QueueStalls) > 0
 }
 
 // Validate rejects out-of-range parameters with a descriptive error.
@@ -83,6 +117,28 @@ func (c Config) Validate() error {
 	if c.ThrottlePState < 0 {
 		return fmt.Errorf("faults: negative throttle P-state %d", c.ThrottlePState)
 	}
+	for _, cc := range c.CoreCrashes {
+		if cc.Core < 0 {
+			return fmt.Errorf("faults: negative corecrash core %d", cc.Core)
+		}
+		if cc.At < 0 {
+			return fmt.Errorf("faults: negative corecrash time %v", cc.At)
+		}
+		if cc.Duration < 0 {
+			return fmt.Errorf("faults: negative corecrash duration %v", cc.Duration)
+		}
+	}
+	for _, qs := range c.QueueStalls {
+		if qs.Queue < 0 {
+			return fmt.Errorf("faults: negative queuestall queue %d", qs.Queue)
+		}
+		if qs.At < 0 {
+			return fmt.Errorf("faults: negative queuestall time %v", qs.At)
+		}
+		if qs.Duration <= 0 {
+			return fmt.Errorf("faults: queuestall needs a positive duration, got %v", qs.Duration)
+		}
+	}
 	return nil
 }
 
@@ -96,6 +152,13 @@ type Stats struct {
 	IRQsLost uint64
 	// Throttles counts throttle events begun.
 	Throttles uint64
+	// CoreCrashes counts cores actually taken offline (a crash scheduled
+	// on an already-dead core, or on the last survivor, is skipped).
+	CoreCrashes uint64
+	// CoreRecoveries counts cores brought back online after a timed crash.
+	CoreRecoveries uint64
+	// QueueStalls counts stall windows that actually began.
+	QueueStalls uint64
 }
 
 // Injector draws fault decisions for one run. All methods are
@@ -207,42 +270,104 @@ func (i *Injector) StartThrottler(eng *sim.Engine, cores int, pstate int, clamp 
 	eng.Schedule(i.rng.ExpDur(meanGap), fire)
 }
 
+// StartHardFaults arms the scheduled hard faults on the engine. The
+// schedule is fixed by the configuration and draws nothing from the
+// PRNG, so arming only hard faults perturbs no physics stream — a hard
+// fault scheduled past the run horizon leaves the run byte-identical to
+// a faultless one.
+//
+// crash takes the core offline and reports whether it actually did (the
+// server refuses to kill an already-dead core or the last survivor);
+// restore brings it back. stall sticks the Rx queue and reports whether
+// it did; unstall releases it. Recovery/unstall events are scheduled
+// only when the corresponding fault took effect.
+func (i *Injector) StartHardFaults(eng *sim.Engine, crash func(core int) bool, restore func(core int), stall func(q int) bool, unstall func(q int)) {
+	if i == nil {
+		return
+	}
+	for _, cc := range i.cfg.CoreCrashes {
+		cc := cc
+		eng.At(sim.Time(cc.At), func() {
+			if !crash(cc.Core) {
+				return
+			}
+			i.stats.CoreCrashes++
+			if cc.Duration > 0 {
+				eng.Schedule(cc.Duration, func() {
+					i.stats.CoreRecoveries++
+					restore(cc.Core)
+				})
+			}
+		})
+	}
+	for _, qs := range i.cfg.QueueStalls {
+		qs := qs
+		eng.At(sim.Time(qs.At), func() {
+			if !stall(qs.Queue) {
+				return
+			}
+			i.stats.QueueStalls++
+			eng.Schedule(qs.Duration, func() { unstall(qs.Queue) })
+		})
+	}
+}
+
 // ParseSpec parses the CLI fault specification: a comma-separated list
 // of key=value settings.
 //
-//	loss=P            wire loss probability (both directions)
-//	irqloss=P         interrupt loss probability
-//	irqjitter=DUR     mean extra interrupt delivery delay (e.g. 5us)
-//	dmajitter=DUR     mean extra DMA latency
-//	throttle=R/DUR    throttle events per second / mean hold time,
-//	                  with an optional clamp P-state: throttle=5/20ms@12
+//	loss=P                wire loss probability (both directions)
+//	irqloss=P             interrupt loss probability
+//	irqjitter=DUR         mean extra interrupt delivery delay (e.g. 5us)
+//	dmajitter=DUR         mean extra DMA latency
+//	throttle=R/DUR        throttle events per second / mean hold time,
+//	                      with an optional clamp P-state: throttle=5/20ms@12
+//	corecrash=CORE@T[:D]  hard core failure at simulated time T; with a
+//	                      :D suffix the core recovers after D, without it
+//	                      the crash is permanent (e.g. corecrash=2@300ms:200ms)
+//	queuestall=Q@T:D      Rx queue Q sticks at time T for duration D
 //
-// An empty spec returns the zero Config.
+// Scalar keys may appear at most once; corecrash and queuestall repeat,
+// one fault per occurrence. An empty spec returns the zero Config.
 func ParseSpec(spec string) (Config, error) {
 	var c Config
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
 		return c, nil
 	}
+	seen := map[string]bool{}
 	for _, part := range strings.Split(spec, ",") {
 		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
 		if !ok {
 			return c, fmt.Errorf("faults: %q is not key=value", part)
 		}
+		// Hard-fault keys are repeatable (one scheduled fault each);
+		// every scalar knob may be set only once.
+		switch key {
+		case "corecrash", "queuestall":
+		default:
+			if seen[key] {
+				return c, fmt.Errorf("faults: duplicate key %q in %q", key, part)
+			}
+			seen[key] = true
+		}
 		var err error
 		switch key {
 		case "loss":
-			c.WireLossProb, err = strconv.ParseFloat(val, 64)
+			c.WireLossProb, err = parseProb(val)
 		case "irqloss":
-			c.IRQLossProb, err = strconv.ParseFloat(val, 64)
+			c.IRQLossProb, err = parseProb(val)
 		case "irqjitter":
-			c.IRQJitter, err = parseDur(val)
+			c.IRQJitter, err = parseNonNegDur(val)
 		case "dmajitter":
-			c.DMAJitter, err = parseDur(val)
+			c.DMAJitter, err = parseNonNegDur(val)
 		case "throttle":
 			err = c.parseThrottle(val)
+		case "corecrash":
+			err = c.parseCoreCrash(val)
+		case "queuestall":
+			err = c.parseQueueStall(val)
 		default:
-			return c, fmt.Errorf("faults: unknown key %q (want loss, irqloss, irqjitter, dmajitter, throttle)", key)
+			return c, fmt.Errorf("faults: unknown key %q (want loss, irqloss, irqjitter, dmajitter, throttle, corecrash, queuestall)", key)
 		}
 		if err != nil {
 			return c, fmt.Errorf("faults: bad %s value %q: %v", key, val, err)
@@ -251,12 +376,102 @@ func ParseSpec(spec string) (Config, error) {
 	return c, c.Validate()
 }
 
+// parseProb parses a probability and range-checks it in place, so the
+// error names the offending token instead of surfacing from the final
+// whole-config validation.
+func parseProb(val string) (float64, error) {
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p >= 1 {
+		return 0, fmt.Errorf("probability %g outside [0, 1)", p)
+	}
+	return p, nil
+}
+
+// parseNonNegDur parses a duration token that must not be negative.
+func parseNonNegDur(val string) (sim.Duration, error) {
+	d, err := parseDur(val)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative duration %v", d)
+	}
+	return d, nil
+}
+
+// parseCoreCrash parses "CORE@T" or "CORE@T:D" and appends the fault.
+func (c *Config) parseCoreCrash(val string) error {
+	coreStr, when, ok := strings.Cut(val, "@")
+	if !ok {
+		return fmt.Errorf("want CORE@TIME or CORE@TIME:DUR")
+	}
+	core, err := strconv.Atoi(coreStr)
+	if err != nil {
+		return err
+	}
+	if core < 0 {
+		return fmt.Errorf("negative core %d", core)
+	}
+	cc := CoreCrash{Core: core}
+	atStr, durStr, timed := strings.Cut(when, ":")
+	if cc.At, err = parseNonNegDur(atStr); err != nil {
+		return err
+	}
+	if timed {
+		if cc.Duration, err = parseDur(durStr); err != nil {
+			return err
+		}
+		if cc.Duration <= 0 {
+			return fmt.Errorf("recovery duration must be positive, got %v", cc.Duration)
+		}
+	}
+	c.CoreCrashes = append(c.CoreCrashes, cc)
+	return nil
+}
+
+// parseQueueStall parses "Q@T:D" and appends the fault.
+func (c *Config) parseQueueStall(val string) error {
+	qStr, when, ok := strings.Cut(val, "@")
+	if !ok {
+		return fmt.Errorf("want Q@TIME:DUR")
+	}
+	q, err := strconv.Atoi(qStr)
+	if err != nil {
+		return err
+	}
+	if q < 0 {
+		return fmt.Errorf("negative queue %d", q)
+	}
+	atStr, durStr, ok := strings.Cut(when, ":")
+	if !ok {
+		return fmt.Errorf("want Q@TIME:DUR (the stall window is mandatory)")
+	}
+	qs := QueueStall{Queue: q}
+	if qs.At, err = parseNonNegDur(atStr); err != nil {
+		return err
+	}
+	if qs.Duration, err = parseDur(durStr); err != nil {
+		return err
+	}
+	if qs.Duration <= 0 {
+		return fmt.Errorf("stall duration must be positive, got %v", qs.Duration)
+	}
+	c.QueueStalls = append(c.QueueStalls, qs)
+	return nil
+}
+
 // parseThrottle parses "RATE/DUR" with an optional "@PSTATE" suffix.
 func (c *Config) parseThrottle(val string) error {
 	if at := strings.LastIndexByte(val, '@'); at >= 0 {
 		p, err := strconv.Atoi(val[at+1:])
 		if err != nil {
 			return err
+		}
+		if p < 0 {
+			return fmt.Errorf("negative P-state %d", p)
 		}
 		c.ThrottlePState = p
 		val = val[:at]
@@ -269,7 +484,10 @@ func (c *Config) parseThrottle(val string) error {
 	if err != nil {
 		return err
 	}
-	d, err := parseDur(dur)
+	if r < 0 {
+		return fmt.Errorf("negative rate %g", r)
+	}
+	d, err := parseNonNegDur(dur)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,8 @@
 package faults
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 
 	"nmapsim/internal/sim"
@@ -106,7 +108,7 @@ func TestParseSpec(t *testing.T) {
 		ThrottleDuration: 20 * sim.Millisecond,
 		ThrottlePState:   12,
 	}
-	if cfg != want {
+	if !reflect.DeepEqual(cfg, want) {
 		t.Fatalf("ParseSpec = %+v, want %+v", cfg, want)
 	}
 	if cfg, err := ParseSpec(""); err != nil || cfg.Enabled() {
@@ -116,6 +118,110 @@ func TestParseSpec(t *testing.T) {
 		if _, err := ParseSpec(bad); err == nil {
 			t.Errorf("ParseSpec(%q) accepted invalid spec", bad)
 		}
+	}
+}
+
+// Hard-fault spec syntax: corecrash repeats, the :DUR suffix selects a
+// timed recovery, queuestall always carries a window.
+func TestParseSpecHardFaults(t *testing.T) {
+	cfg, err := ParseSpec("corecrash=1@250ms:100ms,corecrash=2@300ms,queuestall=0@50ms:5ms,loss=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		WireLossProb: 0.01,
+		CoreCrashes: []CoreCrash{
+			{Core: 1, At: 250 * sim.Millisecond, Duration: 100 * sim.Millisecond},
+			{Core: 2, At: 300 * sim.Millisecond},
+		},
+		QueueStalls: []QueueStall{
+			{Queue: 0, At: 50 * sim.Millisecond, Duration: 5 * sim.Millisecond},
+		},
+	}
+	if !reflect.DeepEqual(cfg, want) {
+		t.Fatalf("ParseSpec = %+v, want %+v", cfg, want)
+	}
+	if !cfg.Enabled() {
+		t.Fatal("hard faults alone must enable the injector config")
+	}
+}
+
+// Every malformed spec must be rejected with a one-line error naming
+// the offending token, never half-applied.
+func TestParseSpecMalformed(t *testing.T) {
+	cases := []struct {
+		spec, wantSub string
+	}{
+		{"loss", "not key=value"},
+		{"=0.1", "unknown key"},
+		{"bogus=1", "unknown key"},
+		{"loss=x", "loss"},
+		{"loss=1.5", "outside [0, 1)"},
+		{"loss=-0.1", "outside [0, 1)"},
+		{"irqloss=1", "outside [0, 1)"},
+		{"loss=0.5,loss=0.1", `duplicate key "loss"`},
+		{"irqjitter=1us,irqjitter=2us", `duplicate key "irqjitter"`},
+		{"throttle=10/20ms@12,throttle=1/1ms@2", `duplicate key "throttle"`},
+		{"irqjitter=-5us", "negative duration"},
+		{"throttle=10", "throttle"},
+		{"corecrash=1", "CORE@TIME"},
+		{"corecrash=x@1ms", "corecrash"},
+		{"corecrash=-1@1ms", "negative core"},
+		{"corecrash=1@-5ms", "negative duration"},
+		{"corecrash=1@5ms:0ms", "must be positive"},
+		{"corecrash=1@5ms:-1ms", "must be positive"},
+		{"queuestall=1@5ms", "mandatory"},
+		{"queuestall=1@5ms:0ms", "must be positive"},
+		{"queuestall=-1@5ms:1ms", "negative queue"},
+		{"queuestall=y@5ms:1ms", "queuestall"},
+	}
+	for _, tc := range cases {
+		_, err := ParseSpec(tc.spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted a malformed spec", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("ParseSpec(%q) error %q does not name the problem (want substring %q)",
+				tc.spec, err, tc.wantSub)
+		}
+	}
+}
+
+// StartHardFaults arms exactly the scheduled faults: crash/stall fire
+// at their instants, timed recoveries follow, vetoed faults (callback
+// returns false) count nothing and schedule no recovery.
+func TestStartHardFaultsSchedule(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := Config{
+		CoreCrashes: []CoreCrash{
+			{Core: 1, At: 10 * sim.Millisecond, Duration: 5 * sim.Millisecond},
+			{Core: 2, At: 20 * sim.Millisecond}, // permanent
+			{Core: 3, At: 30 * sim.Millisecond}, // vetoed below
+		},
+		QueueStalls: []QueueStall{{Queue: 0, At: 12 * sim.Millisecond, Duration: 3 * sim.Millisecond}},
+	}
+	inj := New(cfg, sim.NewRNG(1))
+	var log []string
+	add := func(ev string, at sim.Time) {
+		log = append(log, ev+"@"+sim.Duration(at).String())
+	}
+	inj.StartHardFaults(eng,
+		func(core int) bool {
+			add("crash", eng.Now())
+			return core != 3
+		},
+		func(core int) { add("restore", eng.Now()) },
+		func(q int) bool { add("stall", eng.Now()); return true },
+		func(q int) { add("unstall", eng.Now()) })
+	eng.Run(sim.Time(100 * sim.Millisecond))
+	want := []string{"crash@10ms", "stall@12ms", "restore@15ms", "unstall@15ms", "crash@20ms", "crash@30ms"}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("hard-fault schedule = %v, want %v", log, want)
+	}
+	st := inj.Stats()
+	if st.CoreCrashes != 2 || st.CoreRecoveries != 1 || st.QueueStalls != 1 {
+		t.Fatalf("stats = %+v, want 2 crashes, 1 recovery, 1 stall", st)
 	}
 }
 

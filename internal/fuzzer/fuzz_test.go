@@ -17,6 +17,12 @@ var SeedCorpus = map[string][NumWords]uint64{
 	"sockq-one":    {11, 3, 7, 0, 2, 0, 1, 0, 20, 0, 15 << 8, 0},
 	"throttle-cc6": {13, 3, 3, 2, 1, 0, 0, 0, 1<<16 | 9<<24, 0, 15 << 8, 0},
 	"lumpy-rss":    {17, 3, 7, 0, 2, 0, 0, 18, 0, 0, 15 << 8, 0},
+	// A timed core crash landing while the c6only policy has cores deep
+	// in CC6 at low load (offline/online across a sleep state), and a
+	// stuck Rx ring under the retry storm (stall-induced drops recovered
+	// by retransmission).
+	"corecrash-cc6":          {19, 3, 7, 2, 0, 0, 0, 0, 0, 0, 15 << 8, 8<<8 | 1<<16 | 2<<24},
+	"queuestall-retry-storm": {23, 3, 3, 0, 2, 1, 6<<8 | 2<<16 | 3<<24, 0, 80, 1 | 4<<8, 15 << 8, 0},
 }
 
 // FuzzAuditInvariants decodes twelve entropy words into a valid server
@@ -62,6 +68,14 @@ func TestSeedCorpusClean(t *testing.T) {
 	}
 	if sp := FromWords(SeedCorpus["lumpy-rss"]); !sp.LumpyRSS || sp.Flows != 3 {
 		t.Fatalf("lumpy-rss corner lost its knobs: %+v", sp)
+	}
+	if sp := FromWords(SeedCorpus["corecrash-cc6"]); sp.CoreCrashAtMs == 0 ||
+		sp.CoreCrashDurMs == 0 || sp.Idle != "c6only" {
+		t.Fatalf("corecrash-cc6 corner lost its knobs: %+v", sp)
+	}
+	if sp := FromWords(SeedCorpus["queuestall-retry-storm"]); sp.QueueStallAtMs == 0 ||
+		sp.WireLossPM == 0 || sp.RTOMs == 0 {
+		t.Fatalf("queuestall-retry-storm corner lost its knobs: %+v", sp)
 	}
 }
 

@@ -68,6 +68,20 @@ type Spec struct {
 	RTOMs      int `json:"rto_ms,omitempty"`
 	MaxRetries int `json:"max_retries,omitempty"`
 
+	// Scheduled hard faults. CoreCrashAtMs == 0 disables the crash;
+	// CoreCrashDurMs == 0 makes it permanent. QueueStallAtMs == 0
+	// disables the stall (a stall is always bounded).
+	CoreCrashCore   int `json:"corecrash_core,omitempty"`
+	CoreCrashAtMs   int `json:"corecrash_at_ms,omitempty"`
+	CoreCrashDurMs  int `json:"corecrash_dur_ms,omitempty"`
+	QueueStallQ     int `json:"queuestall_q,omitempty"`
+	QueueStallAtMs  int `json:"queuestall_at_ms,omitempty"`
+	QueueStallDurMs int `json:"queuestall_dur_ms,omitempty"`
+
+	// ShedSLOx10 is server.Config.ShedSLOMultiple x 10 (0 = admission
+	// control off), kept integral so Spec stays comparable.
+	ShedSLOx10 int `json:"shed_slo_x10,omitempty"`
+
 	// MaxEvents arms the engine watchdog so the fuzzer also explores
 	// abort paths; a watchdog abort is an expected outcome, not a
 	// failure.
@@ -84,6 +98,11 @@ var (
 	itrs    = []int{0, 2, 10, 50}
 	rates   = []int{0, 200, 1000}
 	events  = []uint64{0, 0, 200_000, 2_000_000}
+	// crashDurs over-weights the permanent crash (0) — one-way failure
+	// domains are the harsher corner. sheds over-weights "off" so most
+	// runs still exercise the unshedded datapath.
+	crashDurs = []int{0, 0, 5, 10}
+	sheds     = []int{0, 0, 10, 40}
 )
 
 // FromWords decodes a raw word vector into a valid Spec. The mapping is
@@ -115,8 +134,22 @@ func FromWords(w [NumWords]uint64) Spec {
 
 		RTOMs:      int(w[9] % 8), // 0 disables retries
 		MaxRetries: int(w[9] >> 8 % 5),
+		ShedSLOx10: sheds[w[9]>>16%uint64(len(sheds))],
 
 		MaxEvents: events[w[11]%uint64(len(events))],
+	}
+	// Spare bits of w[11] and w[6] carry the scheduled hard faults; the
+	// inactive shapes keep all their fields zero so reproducers stay
+	// minimal.
+	if at := int(w[11] >> 8 % 24); at > 0 {
+		sp.CoreCrashAtMs = at
+		sp.CoreCrashCore = int(w[11] >> 16 % 8)
+		sp.CoreCrashDurMs = crashDurs[w[11]>>24%uint64(len(crashDurs))]
+	}
+	if at := int(w[6] >> 8 % 24); at > 0 {
+		sp.QueueStallAtMs = at
+		sp.QueueStallQ = int(w[6] >> 16 % 8)
+		sp.QueueStallDurMs = 1 + int(w[6]>>24%10)
 	}
 	return sp
 }
@@ -224,8 +257,35 @@ func serverConfig(sp Spec, m *cpu.Model, p *workload.Profile, lvl workload.Level
 			MaxRetries: sp.MaxRetries,
 		}
 	}
+	if sp.CoreCrashAtMs > 0 {
+		cfg.Faults.CoreCrashes = []faults.CoreCrash{{
+			Core:     clampIndex(sp.CoreCrashCore, mm.NumCores),
+			At:       sim.Duration(sp.CoreCrashAtMs) * sim.Millisecond,
+			Duration: sim.Duration(max(sp.CoreCrashDurMs, 0)) * sim.Millisecond,
+		}}
+	}
+	if sp.QueueStallAtMs > 0 {
+		cfg.Faults.QueueStalls = []faults.QueueStall{{
+			Queue:    clampIndex(sp.QueueStallQ, mm.NumCores),
+			At:       sim.Duration(sp.QueueStallAtMs) * sim.Millisecond,
+			Duration: sim.Duration(max(sp.QueueStallDurMs, 1)) * sim.Millisecond,
+		}}
+	}
+	if sp.ShedSLOx10 > 0 {
+		cfg.ShedSLOMultiple = float64(sp.ShedSLOx10) / 10
+	}
 	cfg.MaxEvents = sp.MaxEvents
 	return cfg
+}
+
+// clampIndex folds a possibly hand-edited index into [0, n) (the word
+// decoder already keeps it small; reproducer files may not).
+func clampIndex(i, n int) int {
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
 }
 
 // Outcome is the audited result of running one Spec.
@@ -279,6 +339,9 @@ var shrinkMoves = []func(Spec) Spec{
 	func(s Spec) Spec { s.IRQLossPM = 0; return s },
 	func(s Spec) Spec { s.ThrottleRate = 0; s.ThrottlePS = 0; return s },
 	func(s Spec) Spec { s.RTOMs = 0; s.MaxRetries = 0; return s },
+	func(s Spec) Spec { s.CoreCrashAtMs = 0; s.CoreCrashCore = 0; s.CoreCrashDurMs = 0; return s },
+	func(s Spec) Spec { s.QueueStallAtMs = 0; s.QueueStallQ = 0; s.QueueStallDurMs = 0; return s },
+	func(s Spec) Spec { s.ShedSLOx10 = 0; return s },
 	func(s Spec) Spec { s.SockQCap = 0; return s },
 	func(s Spec) Spec { s.NICRing = 0; return s },
 	func(s Spec) Spec { s.Flows = 0; s.LumpyRSS = false; return s },

@@ -1,0 +1,89 @@
+package fuzzer
+
+import (
+	"testing"
+)
+
+// The decoder's hard-fault shapes lower into legal schedules: cores and
+// queues are clamped into the model's range, a timed crash keeps its
+// duration, a stall always has a positive window, and the shed multiple
+// arms the admission controller.
+func TestHardFaultShapesLowerValid(t *testing.T) {
+	sp := FromWords(SeedCorpus["corecrash-cc6"])
+	es, err := sp.Experiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashes := es.Cfg.Faults.CoreCrashes
+	if len(crashes) != 1 {
+		t.Fatalf("corecrash seed lowered %d crashes, want 1", len(crashes))
+	}
+	cr := crashes[0]
+	if cr.Core < 0 || cr.Core >= es.Cfg.Model.NumCores {
+		t.Fatalf("crash core %d outside the %d-core model", cr.Core, es.Cfg.Model.NumCores)
+	}
+	if cr.At <= 0 || cr.Duration <= 0 {
+		t.Fatalf("timed crash lowered as {At:%v Dur:%v}", cr.At, cr.Duration)
+	}
+	if err := es.Cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	sp = FromWords(SeedCorpus["queuestall-retry-storm"])
+	es, err = sp.Experiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalls := es.Cfg.Faults.QueueStalls
+	if len(stalls) != 1 {
+		t.Fatalf("queuestall seed lowered %d stalls, want 1", len(stalls))
+	}
+	st := stalls[0]
+	if st.At <= 0 || st.Duration <= 0 {
+		t.Fatalf("stall lowered without a window: {At:%v Dur:%v}", st.At, st.Duration)
+	}
+	if err := es.Cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A negative crash core folds into range rather than escaping it.
+	sp.CoreCrashCore, sp.CoreCrashAtMs, sp.CoreCrashDurMs = -3, 5, 0
+	es, err = sp.Experiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr = es.Cfg.Faults.CoreCrashes[0]
+	if cr.Core < 0 || cr.Core >= es.Cfg.Model.NumCores {
+		t.Fatalf("negative crash core escaped the clamp: %d", cr.Core)
+	}
+	if cr.Duration != 0 {
+		t.Fatalf("permanent crash grew a duration: %v", cr.Duration)
+	}
+
+	// Shed knob: x10 fixed-point lowers to the server multiple.
+	sp.ShedSLOx10 = 40
+	es, err = sp.Experiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Cfg.ShedSLOMultiple != 4 {
+		t.Fatalf("ShedSLOx10=40 lowered to multiple %g, want 4", es.Cfg.ShedSLOMultiple)
+	}
+	if err := es.Cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Shrink strips hard-fault and shed knobs that the failure does not
+// depend on, so reproducers stay minimal.
+func TestShrinkDropsHardFaultKnobs(t *testing.T) {
+	sp := FromWords(SeedCorpus["corecrash-cc6"])
+	sp.QueueStallQ, sp.QueueStallAtMs, sp.QueueStallDurMs = 2, 8, 3
+	sp.ShedSLOx10 = 20
+	// Synthetic failure independent of every hard-fault knob.
+	sp.SockQCap = 1
+	min := Shrink(sp, func(s Spec) bool { return s.SockQCap == 1 }, 0)
+	if min.CoreCrashAtMs != 0 || min.QueueStallAtMs != 0 || min.ShedSLOx10 != 0 {
+		t.Fatalf("shrink left irrelevant hard-fault knobs active: %+v", min)
+	}
+}

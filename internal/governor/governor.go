@@ -39,6 +39,7 @@ type Stack struct {
 	interval sim.Duration
 
 	suspended []bool
+	offline   []bool
 	prev      []cpu.Acct
 	lastU     []UtilSample
 	stop      func()
@@ -55,6 +56,7 @@ func NewStack(eng *sim.Engine, proc *cpu.Processor, gov CPUGovernor, interval si
 		gov:       gov,
 		interval:  interval,
 		suspended: make([]bool, len(proc.Cores)),
+		offline:   make([]bool, len(proc.Cores)),
 		prev:      make([]cpu.Acct, len(proc.Cores)),
 		lastU:     make([]UtilSample, len(proc.Cores)),
 	}
@@ -89,6 +91,9 @@ func (s *Stack) Stop() {
 
 func (s *Stack) tick() {
 	for i := range s.proc.Cores {
+		if s.offline[i] {
+			continue // a dead core is neither sampled nor driven
+		}
 		u := s.sample(i)
 		if s.suspended[i] {
 			continue
@@ -150,3 +155,39 @@ func (s *Stack) Resume(i int) {
 
 // Suspended reports whether core i's governor is suspended.
 func (s *Stack) Suspended(i int) bool { return s.suspended[i] }
+
+// CoreOffline stops the stack from sampling or driving core i (the
+// core hard-failed). Its suspension state is preserved for recovery.
+func (s *Stack) CoreOffline(i int) { s.offline[i] = true }
+
+// CoreOnline resumes governing a recovered core: the utilisation
+// snapshot restarts from the recovery instant (the offline window must
+// not read as idleness) and, unless suspended, a decision is issued
+// immediately.
+func (s *Stack) CoreOnline(i int) {
+	if !s.offline[i] {
+		return
+	}
+	s.offline[i] = false
+	s.refresh(i)
+}
+
+// CoreAdopted restarts core i's mode decision with fresh counters: the
+// adoptive core just inherited a dead sibling's flows, so utilisation
+// history from before the failover no longer predicts its load.
+func (s *Stack) CoreAdopted(i int) {
+	if s.offline[i] {
+		return
+	}
+	s.refresh(i)
+}
+
+// refresh rebases core i's utilisation window to now and issues an
+// immediate decision from a clean sample unless the core is suspended.
+func (s *Stack) refresh(i int) {
+	s.prev[i] = s.proc.Cores[i].Snapshot()
+	s.lastU[i] = UtilSample{}
+	if !s.suspended[i] {
+		s.proc.Request(i, s.gov.Decide(i, UtilSample{}))
+	}
+}

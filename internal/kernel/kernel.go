@@ -178,6 +178,11 @@ type Counters struct {
 	// SockDrops counts requests dropped on socket-queue overflow
 	// (Config.SockQCap reached).
 	SockDrops uint64
+	// CrashFails counts requests this kernel failed into the ledger
+	// because of a hard fault: in-flight poll batches and app work lost
+	// to Crash, plus adoption overflow when a survivor's socket queue
+	// cannot absorb a dead core's backlog.
+	CrashFails uint64
 }
 
 // CoreKernel is the per-core kernel instance.
@@ -199,6 +204,10 @@ type CoreKernel struct {
 	// overflow (Config.SockQCap), so the server can mark the in-flight
 	// copy lost instead of leaking it.
 	OnSockDrop func(r *workload.Request)
+	// OnCrashFail fires for each request this kernel fails into the
+	// ledger on a hard fault (see Counters.CrashFails); the server marks
+	// the in-flight copy lost so the client's RTO observes the crash.
+	OnCrashFail func(r *workload.Request)
 
 	idlePol   IdlePolicy
 	listeners []NAPIListener
@@ -212,6 +221,7 @@ type CoreKernel struct {
 	owner     execOwner
 	sleeping  bool
 	waking    bool
+	offline   bool // hard-failed: no dispatch until Recover
 	idleStart sim.Time
 
 	// IRQ/NAPI state.
@@ -317,6 +327,9 @@ func (k *CoreKernel) Start() {
 // reschedule flag is set and the softirq migrates its remaining work to
 // ksoftirqd at the end of the current pass.
 func (k *CoreKernel) schedTick() {
+	if k.offline {
+		return
+	}
 	if k.napiScheduled && !k.inKsoftirqd && (k.appCur != nil || len(k.sockQ) > 0) {
 		k.needResched = true
 	}
@@ -324,6 +337,9 @@ func (k *CoreKernel) schedTick() {
 
 // onInterrupt is the NIC's hardirq delivery for this core's queue.
 func (k *CoreKernel) onInterrupt() {
+	if k.offline {
+		return
+	}
 	k.hardirqPending = true
 	if k.sleeping {
 		k.startWake()
@@ -356,6 +372,9 @@ func (k *CoreKernel) startWake() {
 }
 
 func (k *CoreKernel) onWakeDone() {
+	if k.offline {
+		return // the core died while the wake was in flight
+	}
 	k.waking = false
 	k.dispatch()
 }
@@ -363,6 +382,9 @@ func (k *CoreKernel) onWakeDone() {
 // dispatch is the core's scheduler: hardirq > softirq > round-robin
 // between ksoftirqd and the application thread; otherwise idle.
 func (k *CoreKernel) dispatch() {
+	if k.offline {
+		return
+	}
 	if k.exec != nil || k.waking {
 		return
 	}
@@ -589,4 +611,108 @@ func (k *CoreKernel) onAppDone() {
 		k.OnAppComplete(done)
 	}
 	k.dispatch()
+}
+
+// Offline reports whether this kernel is hard-failed.
+func (k *CoreKernel) Offline() bool { return k.offline }
+
+// crashFail fails one request into the ledger during a hard fault.
+func (k *CoreKernel) crashFail(r *workload.Request) {
+	k.c.CrashFails++
+	if k.OnCrashFail != nil {
+		k.OnCrashFail(r)
+	}
+}
+
+// Crash hard-fails this kernel: whatever execution was in flight is
+// cancelled, work that cannot survive the core (the mid-poll batch and
+// the request the app thread held) is failed into the ledger, the NAPI
+// context is orphaned, and the socket-queue backlog is returned to the
+// caller so a surviving core can Adopt it. After Crash the kernel
+// refuses all dispatch until Recover. The caller must tear down the NIC
+// queue and the CPU core around this call; Crash itself only settles
+// the kernel's own state.
+func (k *CoreKernel) Crash() []*workload.Request {
+	if k.offline {
+		return nil
+	}
+	if k.exec != nil {
+		k.exec.Cancel()
+		k.exec = nil
+	}
+	k.owner = ownerNone
+	// The poll batch was drained from the ring and is owned by the
+	// cancelled pass: its payloads die with the core.
+	for _, p := range k.pollBatch {
+		if p.Payload != nil {
+			k.aud.CrashPollFail(k.ID)
+			k.crashFail(p.Payload)
+		}
+		k.dev.PutPacket(p)
+	}
+	k.pollBatch = nil
+	k.pollTxn = 0
+	// The request the app thread held (running or preempted) dies too.
+	if k.appCur != nil {
+		k.aud.CrashAppFail(k.ID)
+		k.crashFail(k.appCur)
+		k.appCur = nil
+		k.appRem = 0
+	}
+	// The socket queue survives in memory: it migrates to the adoptive
+	// core, exactly like a real kernel re-homing a backlog on CPU
+	// hotplug. Hand it off rather than failing it.
+	stranded := k.sockQ
+	k.sockQ = nil
+	// Orphan the NAPI context. If ksoftirqd owned it, the listeners see
+	// a sleep so mode-transition policies keep their wake/sleep events
+	// balanced.
+	if k.napiScheduled || k.inKsoftirqd {
+		k.aud.NAPIOrphan(k.ID)
+	}
+	if k.inKsoftirqd {
+		for _, l := range k.listeners {
+			l.KsoftirqdSleep(k.ID)
+		}
+	}
+	k.napiScheduled = false
+	k.inKsoftirqd = false
+	k.firstPass = false
+	k.hardirqPending = false
+	k.needResched = false
+	k.sleeping = false
+	k.waking = false
+	k.offline = true
+	return stranded
+}
+
+// Adopt takes over a crashed core's socket-queue backlog. Requests that
+// fit under this core's SockQCap join the queue (no re-enqueue audit
+// event: globally the request is still the same socket-queue occupant);
+// overflow is failed into the ledger — a survivor under pressure cannot
+// absorb an unbounded backlog.
+func (k *CoreKernel) Adopt(rs []*workload.Request) {
+	for _, r := range rs {
+		if k.cfg.SockQCap > 0 && len(k.sockQ) >= k.cfg.SockQCap {
+			k.aud.CrashSockFail(k.ID)
+			k.crashFail(r)
+			continue
+		}
+		k.sockQ = append(k.sockQ, r)
+	}
+	if len(k.sockQ) > k.c.MaxSockQ {
+		k.c.MaxSockQ = len(k.sockQ)
+	}
+	k.dispatch()
+}
+
+// Recover brings a crashed kernel back: state was settled by Crash, so
+// recovery is simply re-entering the idle loop (the scheduler tick never
+// stopped; it was gated by the offline flag).
+func (k *CoreKernel) Recover() {
+	if !k.offline {
+		return
+	}
+	k.offline = false
+	k.goIdle()
 }

@@ -85,6 +85,16 @@ type queue struct {
 	irqRetry   func() // bound once: re-runs maybeInterrupt at the ITR slot
 	drops      uint64
 	interrupts uint64
+	// offline marks a queue whose core hard-failed: the RSS re-steer
+	// table sends its flows to the next online queue and DMA never
+	// lands here. crashFails counts the stranded ring packets failed
+	// into the ledger at offline time.
+	offline    bool
+	crashFails uint64
+	// stalled marks a stuck ring: DMA keeps landing packets (so the
+	// ring fills and overflows honestly) but the queue raises no
+	// interrupts and returns nothing to Poll until the stall lifts.
+	stalled bool
 }
 
 // txOp is the pooled in-flight state of one Transmit call: the shared
@@ -107,6 +117,10 @@ type NIC struct {
 	// an interrupt.
 	handler []func()
 	rssSeed uint64
+	// offlineCount gates the re-steer path in QueueFor: when zero (the
+	// healthy steady state) flow steering is exactly the pre-failover
+	// computation, byte for byte.
+	offlineCount int
 
 	// Free lists for packet records and Transmit state, plus the two
 	// arg-style callbacks bound once at construction so the datapath
@@ -208,13 +222,37 @@ func (n *NIC) SetHandler(q int, fn func()) { n.handler[q] = fn }
 // QueueFor implements RSS flow steering. By default flows spread evenly
 // across queues (the paper's testbed behaviour); with Config.HashRSS a
 // seeded Fibonacci mix deals them lumpily, as a real Toeplitz hash can.
+// When a queue's core has hard-failed, its flows re-steer to the next
+// online queue — the indirection-table rewrite a driver performs on IRQ
+// migration. Flows whose home queue is online keep their mapping, so
+// steering stays pure for the survivors.
 func (n *NIC) QueueFor(flow uint64) int {
+	var q int
 	if !n.cfg.HashRSS {
-		return int(flow % uint64(n.cfg.Queues))
+		q = int(flow % uint64(n.cfg.Queues))
+	} else {
+		h := (flow ^ n.rssSeed) * 0x9e3779b97f4a7c15
+		h ^= h >> 29
+		q = int(h % uint64(n.cfg.Queues))
 	}
-	h := (flow ^ n.rssSeed) * 0x9e3779b97f4a7c15
-	h ^= h >> 29
-	return int(h % uint64(n.cfg.Queues))
+	if n.offlineCount != 0 && n.qs[q].offline {
+		q = n.NextOnlineQueue(q)
+	}
+	return q
+}
+
+// NextOnlineQueue returns the first online queue at or after q in ring
+// order — the re-steer target for a dead queue's flows. If every queue
+// is offline it returns q unchanged (the server never lets the last
+// core die, so this is defensive only).
+func (n *NIC) NextOnlineQueue(q int) int {
+	for i := 0; i < n.cfg.Queues; i++ {
+		c := (q + i) % n.cfg.Queues
+		if !n.qs[c].offline {
+			return c
+		}
+	}
+	return q
 }
 
 // SetInjector attaches the fault injector. Call before the run starts;
@@ -261,6 +299,9 @@ func (n *NIC) dmaLand(a any) {
 // allows it; otherwise it arms a timer for the next ITR slot.
 func (n *NIC) maybeInterrupt(q int) {
 	qu := n.qs[q]
+	if qu.offline || qu.stalled {
+		return
+	}
 	if !qu.irqEnabled || n.handler[q] == nil || (len(qu.ring) == 0 && qu.txPending == 0) {
 		return
 	}
@@ -293,6 +334,9 @@ func (n *NIC) maybeInterrupt(q int) {
 // records via PutPacket) before polling again.
 func (n *NIC) Poll(q, max int) []*Packet {
 	qu := n.qs[q]
+	if qu.offline || qu.stalled {
+		return qu.batch[:0]
+	}
 	if max > len(qu.ring) {
 		max = len(qu.ring)
 	}
@@ -314,6 +358,9 @@ func (n *NIC) QueueLen(q int) int { return len(n.qs[q].ring) }
 // EnableIRQ unmasks interrupts on queue q (NAPI complete). If packets
 // arrived while masked, the interrupt logic re-runs immediately.
 func (n *NIC) EnableIRQ(q int) {
+	if n.qs[q].offline {
+		return
+	}
 	n.qs[q].irqEnabled = true
 	n.maybeInterrupt(q)
 }
@@ -370,6 +417,9 @@ func (n *NIC) TxPending(q int) int { return n.qs[q].txPending }
 // the NAPI poll routine) and returns how many were cleaned.
 func (n *NIC) TxClean(q, max int) int {
 	qu := n.qs[q]
+	if qu.offline || qu.stalled {
+		return 0
+	}
 	if max > qu.txPending {
 		max = qu.txPending
 	}
@@ -379,9 +429,94 @@ func (n *NIC) TxClean(q, max int) int {
 }
 
 // HasWork reports whether queue q has Rx packets or Tx completions
-// pending.
+// pending. A stalled or offline queue reports no work: its contents are
+// unreachable until the stall lifts or the queue is failed over.
 func (n *NIC) HasWork(q int) bool {
+	if n.qs[q].offline || n.qs[q].stalled {
+		return false
+	}
 	return len(n.qs[q].ring) > 0 || n.qs[q].txPending > 0
+}
+
+// OfflineQueue hard-fails queue q: its interrupt is torn down, the RSS
+// re-steer table sends its flows elsewhere, and every packet stranded in
+// the ring is failed into the request ledger via OnRxDrop — a dead
+// ring's descriptors are unreachable, so the honest outcome is loss the
+// client-side RTO will observe, never silent disappearance.
+func (n *NIC) OfflineQueue(q int) {
+	qu := n.qs[q]
+	if qu.offline {
+		return
+	}
+	qu.offline = true
+	n.offlineCount++
+	qu.irqEnabled = false
+	qu.irqTimer.Cancel()
+	for i, p := range qu.ring {
+		qu.crashFails++
+		n.aud.RingCrashFail()
+		if n.OnRxDrop != nil {
+			n.OnRxDrop(p)
+		}
+		n.PutPacket(p)
+		qu.ring[i] = nil
+	}
+	qu.ring = qu.ring[:0]
+}
+
+// OnlineQueue brings a failed-over queue back: the re-steer table entry
+// is restored (new flows hash home again) and the interrupt is re-armed
+// for any Tx completions that accumulated while the queue was dead.
+func (n *NIC) OnlineQueue(q int) {
+	qu := n.qs[q]
+	if !qu.offline {
+		return
+	}
+	qu.offline = false
+	n.offlineCount--
+	qu.irqEnabled = true
+	n.maybeInterrupt(q)
+}
+
+// StallQueue wedges queue q's Rx ring: DMA keeps landing packets (the
+// ring fills and overflows honestly) but the queue raises no interrupts
+// and Poll returns nothing until UnstallQueue. Returns false if the
+// queue is already stalled or offline (the fault does not stack).
+func (n *NIC) StallQueue(q int) bool {
+	qu := n.qs[q]
+	if qu.stalled || qu.offline {
+		return false
+	}
+	qu.stalled = true
+	qu.irqTimer.Cancel()
+	return true
+}
+
+// UnstallQueue lifts a stall and re-runs the interrupt logic over
+// whatever accumulated in the ring while it was stuck.
+func (n *NIC) UnstallQueue(q int) {
+	qu := n.qs[q]
+	if !qu.stalled {
+		return
+	}
+	qu.stalled = false
+	n.maybeInterrupt(q)
+}
+
+// QueueOffline reports whether queue q is hard-failed.
+func (n *NIC) QueueOffline(q int) bool { return n.qs[q].offline }
+
+// QueueStalled reports whether queue q's ring is currently stuck.
+func (n *NIC) QueueStalled(q int) bool { return n.qs[q].stalled }
+
+// TotalCrashFails sums the packets failed into the ledger from dead
+// rings across all queues.
+func (n *NIC) TotalCrashFails() uint64 {
+	var s uint64
+	for i := range n.qs {
+		s += n.qs[i].crashFails
+	}
+	return s
 }
 
 // Drops returns the cumulative dropped-packet count for queue q.

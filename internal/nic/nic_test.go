@@ -252,3 +252,141 @@ func TestInterruptCountPerQueue(t *testing.T) {
 		t.Fatalf("interrupts = %d,%d want 1,1", n.Interrupts(0), n.Interrupts(1))
 	}
 }
+
+// The seeded hash deals 64 sequential flows within ±20% of uniform
+// across 8 queues (the satellite distribution guarantee RSS relies on).
+func TestHashRSSWithin20PctOfUniform(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.HashRSS = true
+	n := New(cfg, sim.NewEngine(), 42)
+	const flows = 64
+	counts := make([]float64, 8)
+	for f := uint64(0); f < flows; f++ {
+		counts[n.QueueFor(f)]++
+	}
+	mean := float64(flows) / 8
+	for q, c := range counts {
+		if c < mean*0.8 || c > mean*1.2 {
+			t.Fatalf("queue %d got %.0f of %d flows; want within ±20%% of %.1f", q, c, flows, mean)
+		}
+	}
+}
+
+// Steering purity across a re-steer table rebuild: every flow maps to
+// the same queue on every call; killing one queue re-steers only the
+// flows homed there (survivors keep their mapping, so their RSS state
+// stays warm); recovery restores the original table. Checked on both
+// the round-robin and the seeded-hash paths.
+func TestRSSPurityAcrossResteer(t *testing.T) {
+	for _, hash := range []bool{false, true} {
+		cfg := DefaultConfig(4)
+		cfg.HashRSS = hash
+		n := New(cfg, sim.NewEngine(), 42)
+		const flows = 64
+		home := make([]int, flows)
+		for f := range home {
+			home[f] = n.QueueFor(uint64(f))
+			if again := n.QueueFor(uint64(f)); again != home[f] {
+				t.Fatalf("hash=%v: flow %d steered to %d then %d", hash, f, home[f], again)
+			}
+		}
+		const dead = 1
+		n.OfflineQueue(dead)
+		adopt := n.NextOnlineQueue(dead)
+		if adopt == dead {
+			t.Fatalf("hash=%v: no online adoption target", hash)
+		}
+		for f := range home {
+			want := home[f]
+			if want == dead {
+				want = adopt
+			}
+			if got := n.QueueFor(uint64(f)); got != want {
+				t.Fatalf("hash=%v: flow %d steered to %d after crash, want %d (home %d)",
+					hash, f, got, want, home[f])
+			}
+		}
+		n.OnlineQueue(dead)
+		for f := range home {
+			if got := n.QueueFor(uint64(f)); got != home[f] {
+				t.Fatalf("hash=%v: flow %d steered to %d after recovery, want home %d",
+					hash, f, got, home[f])
+			}
+		}
+	}
+}
+
+// A stalled ring accepts DMA but raises no interrupts and yields no
+// polls; unstalling re-arms the interrupt for the backlog.
+func TestStallQueueSuppressesIRQAndPoll(t *testing.T) {
+	eng, n := testNIC(1)
+	irqs := 0
+	n.SetHandler(0, func() { irqs++ })
+	if !n.StallQueue(0) {
+		t.Fatal("StallQueue refused a healthy queue")
+	}
+	if n.StallQueue(0) {
+		t.Fatal("StallQueue stalled an already-stalled queue")
+	}
+	for i := 0; i < 5; i++ {
+		n.Deliver(&Packet{ID: uint64(i)})
+	}
+	eng.RunAll()
+	if irqs != 0 {
+		t.Fatalf("stalled queue raised %d interrupts", irqs)
+	}
+	if n.QueueLen(0) != 5 {
+		t.Fatalf("ring = %d, want 5 (DMA still lands during a stall)", n.QueueLen(0))
+	}
+	if got := n.Poll(0, 10); len(got) != 0 {
+		t.Fatalf("poll returned %d packets from a stalled ring", len(got))
+	}
+	if n.HasWork(0) {
+		t.Fatal("a stalled queue must not advertise work")
+	}
+	n.UnstallQueue(0)
+	eng.RunAll()
+	if irqs != 1 {
+		t.Fatalf("unstall raised %d interrupts for the backlog, want 1", irqs)
+	}
+	if got := n.Poll(0, 10); len(got) != 5 {
+		t.Fatalf("poll after unstall returned %d, want 5", len(got))
+	}
+}
+
+// Taking a queue offline fails its ring contents into the ledger (via
+// OnRxDrop and the crash-fail counter) and re-steers later deliveries.
+func TestOfflineQueueFailsRingAndResteersDMA(t *testing.T) {
+	eng, n := testNIC(2)
+	n.SetHandler(0, func() {})
+	n.SetHandler(1, func() {})
+	dropped := 0
+	n.OnRxDrop = func(p *Packet) { dropped++ }
+	for i := 0; i < 5; i++ {
+		n.Deliver(&Packet{ID: uint64(i), Flow: 1})
+	}
+	eng.RunAll()
+	if n.QueueLen(1) != 5 {
+		t.Fatalf("ring 1 = %d, want 5", n.QueueLen(1))
+	}
+	n.OfflineQueue(1)
+	if dropped != 5 || n.TotalCrashFails() != 5 {
+		t.Fatalf("offline failed %d packets (crash-fails %d), want 5", dropped, n.TotalCrashFails())
+	}
+	if n.QueueLen(1) != 0 || n.HasWork(1) {
+		t.Fatal("offline queue still holds work")
+	}
+	// A packet already in DMA flight for flow 1 re-steers to queue 0.
+	n.Deliver(&Packet{ID: 9, Flow: 1})
+	eng.RunAll()
+	if n.QueueLen(0) != 1 || n.QueueLen(1) != 0 {
+		t.Fatalf("post-crash delivery landed on rings (%d,%d), want (1,0)",
+			n.QueueLen(0), n.QueueLen(1))
+	}
+	n.OnlineQueue(1)
+	n.Deliver(&Packet{ID: 10, Flow: 1})
+	eng.RunAll()
+	if n.QueueLen(1) != 1 {
+		t.Fatalf("recovered queue got %d packets, want 1", n.QueueLen(1))
+	}
+}

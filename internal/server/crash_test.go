@@ -1,0 +1,154 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+
+	"nmapsim/internal/faults"
+	"nmapsim/internal/sim"
+	"nmapsim/internal/workload"
+)
+
+// crashCfg is the full-stack failure-domain scenario: high load, a core
+// hard-failing a quarter of the way into the measured window and
+// recovering a quarter later, audited end to end.
+func crashCfg(seed uint64) Config {
+	cfg := Config{
+		Seed:     seed,
+		Level:    workload.High,
+		Warmup:   20 * sim.Millisecond,
+		Duration: 120 * sim.Millisecond,
+		Audit:    true,
+	}
+	cfg.Faults = faults.Config{
+		CoreCrashes: []faults.CoreCrash{{
+			Core:     1,
+			At:       cfg.Warmup + cfg.Duration/4,
+			Duration: cfg.Duration / 4,
+		}},
+	}
+	return cfg
+}
+
+// The headline regression test for hard-fault failure domains: crash a
+// core mid-run under load with SLO-aware shedding armed. The ledger
+// identity must hold exactly with Shed a first-class outcome, the
+// auditor must see zero violations across the crash and the recovery,
+// and shedding must actually have fired.
+func TestCoreCrashShedLedgerExact(t *testing.T) {
+	cfg := crashCfg(31)
+	cfg.ShedSLOMultiple = 4
+	res, err := runAudited(t, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.CoreCrashes != 1 || res.Faults.CoreRecoveries != 1 {
+		t.Fatalf("crash schedule did not run: %+v", res.Faults)
+	}
+	if res.Reqs.Shed == 0 {
+		t.Fatal("admission controller never shed during a core outage at high load")
+	}
+	a := res.Reqs
+	if a.Issued != a.Completed+a.TimedOut+a.Lost+a.Shed+a.InFlight {
+		t.Fatalf("ledger identity broken: %d != %d+%d+%d+%d+%d",
+			a.Issued, a.Completed, a.TimedOut, a.Lost, a.Shed, a.InFlight)
+	}
+	if res.Audit == nil || res.Audit.Failed() {
+		t.Fatalf("auditor not clean across crash/recovery: %v", res.Audit)
+	}
+	var checks uint64
+	for _, rs := range res.Audit.Rules {
+		checks += rs.Checks
+	}
+	if checks == 0 {
+		t.Fatal("auditor recorded no checks — hook wiring fell off")
+	}
+}
+
+// Shedding is the point of the admission controller: with the same
+// crash, survivors protected by the 4×SLO gate must post a strictly
+// lower P99 than the unprotected run that queues everything.
+func TestCoreCrashSheddingLowersSurvivorP99(t *testing.T) {
+	unprotected := crashCfg(31)
+	resOff, err := runAudited(t, unprotected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protected := crashCfg(31)
+	protected.ShedSLOMultiple = 4
+	resOn, err := runAudited(t, protected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resOff.Reqs.Shed != 0 {
+		t.Fatalf("shedding fired with ShedSLOMultiple=0: %+v", resOff.Reqs)
+	}
+	if resOn.Summary.P99 >= resOff.Summary.P99 {
+		t.Fatalf("shedding did not protect the survivors: P99 %v with shedding vs %v without",
+			resOn.Summary.P99, resOff.Summary.P99)
+	}
+}
+
+// Offline cores must never strand work: every request in flight on the
+// crashed core at the fault instant either completes on a survivor
+// (adopted socket queue) or fails honestly into the ledger, and with
+// client retries armed the failed ones are recovered or timed out —
+// nothing is Lost without the client hearing about it.
+func TestCoreCrashWithRetriesRecoversFailures(t *testing.T) {
+	cfg := crashCfg(47)
+	cfg.Retry = workload.RetryConfig{Timeout: 5 * sim.Millisecond, MaxRetries: 3}
+	res, err := runAudited(t, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reqs.Retransmits == 0 {
+		t.Fatal("a core crash under retries produced no retransmissions")
+	}
+	if res.Reqs.Lost != 0 {
+		t.Fatalf("with retries armed, crash losses must resolve to Completed or TimedOut, got Lost=%d",
+			res.Reqs.Lost)
+	}
+	if !res.Reqs.Consistent() {
+		t.Fatalf("ledger identity broken: %+v", res.Reqs)
+	}
+}
+
+// A hard fault scheduled past the horizon never fires, and merely
+// arming it must not perturb a single byte of the physics — this pins
+// the zero-fault fast path against scheduling overhead leaks.
+func TestCoreCrashPastHorizonByteIdentical(t *testing.T) {
+	plain := quickCfg(workload.Medium, 53)
+	base := runWith(t, plain, "ondemand", "menu")
+
+	armed := plain
+	armed.Faults = faults.Config{
+		CoreCrashes: []faults.CoreCrash{{Core: 1, At: 10 * sim.Second}},
+		QueueStalls: []faults.QueueStall{{Queue: 0, At: 10 * sim.Second, Duration: sim.Millisecond}},
+	}
+	late := runWith(t, armed, "ondemand", "menu")
+	if late.Faults.CoreCrashes != 0 || late.Faults.QueueStalls != 0 {
+		t.Fatalf("past-horizon faults fired: %+v", late.Faults)
+	}
+	// The Faults stats block is the only intentional difference (the
+	// injector exists); everything physical must match exactly.
+	late.Faults = base.Faults
+	if !reflect.DeepEqual(base, late) {
+		t.Fatalf("arming a never-firing hard fault perturbed the physics:\nbase: %v\nlate: %v",
+			base, late)
+	}
+}
+
+// The crash choreography itself is deterministic: the same seed and the
+// same crash schedule reproduce the identical Result twice.
+func TestCoreCrashDeterministic(t *testing.T) {
+	cfg := crashCfg(59)
+	cfg.ShedSLOMultiple = 2
+	a, errA := runAudited(t, cfg)
+	b, errB := runAudited(t, cfg)
+	if errA != nil || errB != nil {
+		t.Fatalf("runs errored: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed + same crash schedule diverged:\n%v\n%v", a, b)
+	}
+}

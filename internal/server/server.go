@@ -89,6 +89,14 @@ type Config struct {
 	Retry workload.RetryConfig
 	// SockQCap bounds the per-core socket queue (0 = unlimited).
 	SockQCap int
+	// ShedSLOMultiple enables SLO-aware load shedding: a fresh request
+	// is refused at admission (terminal `Shed` ledger outcome, never
+	// silent) when the estimated queueing delay on its target core
+	// exceeds this multiple of the profile's SLO. Zero (the default)
+	// disables shedding; the admission check then never runs, so
+	// existing physics are untouched. Retransmissions are never shed —
+	// the client already holds a timer for them.
+	ShedSLOMultiple float64
 	// MaxEvents arms the engine watchdog: the run aborts with a
 	// diagnostic once this many events have fired (0 = unlimited). See
 	// Server.Err.
@@ -183,12 +191,35 @@ func (c Config) Validate() error {
 		k.TxCleanCycles < 0 || k.TxCleanBudget < 0 || k.TickPeriod < 0 || k.SockQCap < 0 {
 		return fmt.Errorf("server: negative kernel cost parameter in %+v", k)
 	}
+	if c.ShedSLOMultiple < 0 {
+		return fmt.Errorf("server: negative shed SLO multiple %g", c.ShedSLOMultiple)
+	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
 	if c.Faults.ThrottlePState > c.Model.MaxP() {
 		return fmt.Errorf("server: throttle P-state %d out of range for %s (max P%d)",
 			c.Faults.ThrottlePState, c.Model.Name, c.Model.MaxP())
+	}
+	permanent := 0
+	for _, cc := range c.Faults.CoreCrashes {
+		if cc.Core >= c.Model.NumCores {
+			return fmt.Errorf("server: corecrash core %d out of range for %s (%d cores)",
+				cc.Core, c.Model.Name, c.Model.NumCores)
+		}
+		if cc.Duration == 0 {
+			permanent++
+		}
+	}
+	if permanent >= c.Model.NumCores {
+		return fmt.Errorf("server: %d permanent core crashes would kill all %d cores of %s",
+			permanent, c.Model.NumCores, c.Model.Name)
+	}
+	for _, qs := range c.Faults.QueueStalls {
+		if qs.Queue >= c.Model.NumCores {
+			return fmt.Errorf("server: queuestall queue %d out of range for %s (%d queues)",
+				qs.Queue, c.Model.Name, c.Model.NumCores)
+		}
 	}
 	return c.Retry.Validate()
 }
@@ -248,13 +279,16 @@ type RequestAccounting struct {
 	// Lost counts requests dropped with no retry budget to recover them
 	// (retries disabled).
 	Lost uint64
+	// Shed counts requests refused by the admission controller
+	// (Config.ShedSLOMultiple).
+	Shed uint64
 	// InFlight counts requests still live when the run ended.
 	InFlight uint64
 }
 
 // Consistent reports whether the ledger's identity holds.
 func (a RequestAccounting) Consistent() bool {
-	return a.Issued == a.Completed+a.TimedOut+a.Lost+a.InFlight
+	return a.Issued == a.Completed+a.TimedOut+a.Lost+a.Shed+a.InFlight
 }
 
 // CoreStats is the per-core view of a run.
@@ -324,10 +358,30 @@ type Server struct {
 	// unconditionally.
 	aud *audit.Auditor
 	// live independently counts requests issued but not yet terminal
-	// (completed, timed out, or lost). It is tracked on its own rather
-	// than derived from the other counters so the accounting-identity
-	// test actually cross-checks something.
+	// (completed, timed out, lost, or shed). It is tracked on its own
+	// rather than derived from the other counters so the
+	// accounting-identity test actually cross-checks something.
 	live uint64
+
+	// Load-shedding state, precomputed in New so the admission check is
+	// pure arithmetic: shedBudgetNs is ShedSLOMultiple × SLO in
+	// nanoseconds (0 = shedding off) and shedCostCycles the estimated
+	// per-backlogged-request service cost used to turn queue depths into
+	// a queueing-delay estimate.
+	shedBudgetNs   float64
+	shedCostCycles float64
+}
+
+// failureAware is the optional policy extension the server notifies
+// about hard-fault transitions: failure-aware policies (the governor
+// stack, NMAP) stop driving dead cores and restart their mode decision
+// with fresh counters on adoptive ones. Policies that don't implement it
+// keep working — the processor refuses to apply their requests to
+// offline cores.
+type failureAware interface {
+	CoreOffline(core int)
+	CoreOnline(core int)
+	CoreAdopted(core int)
 }
 
 // New assembles a server. The idle policy applies to every core; pass
@@ -391,8 +445,17 @@ func New(cfg Config, idle kernel.IdlePolicy) *Server {
 		k.AppCycles = appCost
 		k.OnAppComplete = s.complete
 		k.OnSockDrop = s.dropCopy
+		k.OnCrashFail = s.dropCopy
 		k.SetAuditor(s.aud)
 		s.Kernels = append(s.Kernels, k)
+	}
+	if cfg.ShedSLOMultiple > 0 {
+		s.shedBudgetNs = cfg.ShedSLOMultiple * float64(cfg.Profile.SLO)
+		per := kcfg.PerPktCycles
+		if per == 0 {
+			per = kernel.DefaultConfig().PerPktCycles
+		}
+		s.shedCostCycles = cfg.Profile.MeanAppCycles + per
 	}
 	s.Gen = &workload.Generator{
 		Eng:             eng,
@@ -435,11 +498,35 @@ func (s *Server) netDelay() sim.Duration {
 func (s *Server) Ingress(r *workload.Request) { s.ingress(r) }
 
 // ingress books a freshly generated request into the client ledger and
-// sends its first copy.
+// sends its first copy — unless the admission controller sheds it.
 func (s *Server) ingress(r *workload.Request) {
 	s.acct.Issued++
 	s.live++
+	if s.shedBudgetNs > 0 && s.shouldShed(r) {
+		r.Shed = true
+		s.acct.Shed++
+		s.live--
+		s.aud.ShedReq()
+		s.maybeRecycle(r)
+		return
+	}
 	s.send(r)
+}
+
+// shouldShed estimates the queueing delay r would face on its target
+// core — backlog (ring + socket queue + app in flight) times the mean
+// per-request service cost at the core's current frequency — and sheds
+// when it exceeds the configured SLO multiple. Pure arithmetic over
+// state already in memory: no randomness, no allocation.
+func (s *Server) shouldShed(r *workload.Request) bool {
+	q := s.NIC.QueueFor(r.Flow)
+	k := s.Kernels[q]
+	backlog := s.NIC.QueueLen(q) + k.SockQLen() + k.AppInFlight()
+	if backlog == 0 {
+		return false
+	}
+	estNs := float64(backlog) * s.shedCostCycles / s.Proc.Cores[q].FreqGHz()
+	return estNs > s.shedBudgetNs
 }
 
 // send transmits one copy of r over the network into the NIC: arm the
@@ -512,11 +599,11 @@ func (s *Server) dropCopy(r *workload.Request) {
 }
 
 // maybeRecycle returns r to the pool once it is terminal (completed,
-// timed out, or lost), no copy is still inside the datapath, and no
-// timer could resurrect it — the pool's terminal recycle point.
+// timed out, lost, or shed), no copy is still inside the datapath, and
+// no timer could resurrect it — the pool's terminal recycle point.
 func (s *Server) maybeRecycle(r *workload.Request) {
 	if r.Pending == 0 && !r.Timer.Pending() &&
-		(r.Done != 0 || r.TimedOut || r.Lost) {
+		(r.Done != 0 || r.TimedOut || r.Lost || r.Shed) {
 		s.reqPool.Put(r)
 	}
 }
@@ -592,7 +679,79 @@ func (s *Server) Start() {
 		pstate = s.Cfg.Model.MaxP()
 	}
 	s.inj.StartThrottler(s.Eng, s.Cfg.Model.NumCores, pstate, s.Proc.Throttle, s.Proc.Unthrottle)
+	s.inj.StartHardFaults(s.Eng, s.crashCore, s.recoverCore, s.stallQueue, s.unstallQueue)
 	s.Gen.Start()
+}
+
+// crashCore hard-fails one core end to end: the kernel settles (in-
+// flight work fails into the ledger, the socket backlog is handed off),
+// the NIC queue is torn down and its ring failed, the CPU core goes
+// offline C-state-legally, the RSS re-steer table sends the dead
+// queue's flows to the next survivor — which adopts the stranded
+// backlog — and a failure-aware policy is told to stop driving the
+// core. The last online core never dies: a cluster that loses every
+// node is outside this model's scope.
+func (s *Server) crashCore(core int) bool {
+	if core < 0 || core >= len(s.Kernels) {
+		return false
+	}
+	if s.Proc.IsOffline(core) || s.Proc.OnlineCount() <= 1 {
+		return false
+	}
+	stranded := s.Kernels[core].Crash()
+	s.NIC.OfflineQueue(core)
+	s.Proc.Offline(core)
+	fa, aware := s.policy.(failureAware)
+	if aware {
+		fa.CoreOffline(core)
+	}
+	adopt := s.NIC.NextOnlineQueue(core)
+	s.Kernels[adopt].Adopt(stranded)
+	if aware {
+		fa.CoreAdopted(adopt)
+	}
+	return true
+}
+
+// recoverCore brings a crashed core back: the CPU core comes online
+// (cold caches — the CC6 flush penalty applies), the kernel re-enters
+// its idle loop, the RSS table steers the core's flows home again, and
+// a failure-aware policy restarts its mode decision with fresh
+// counters.
+func (s *Server) recoverCore(core int) {
+	if core < 0 || core >= len(s.Kernels) || !s.Proc.IsOffline(core) {
+		return
+	}
+	s.Proc.Online(core)
+	s.Kernels[core].Recover()
+	s.NIC.OnlineQueue(core)
+	if fa, ok := s.policy.(failureAware); ok {
+		fa.CoreOnline(core)
+	}
+}
+
+// stallQueue wedges one Rx ring (the queuestall hard fault).
+func (s *Server) stallQueue(q int) bool {
+	if q < 0 || q >= s.Cfg.Model.NumCores {
+		return false
+	}
+	return s.NIC.StallQueue(q)
+}
+
+// unstallQueue lifts a ring stall.
+func (s *Server) unstallQueue(q int) {
+	if q < 0 || q >= s.Cfg.Model.NumCores {
+		return
+	}
+	s.NIC.UnstallQueue(q)
+}
+
+// Accounting returns the client ledger as of now, with InFlight filled
+// in — the live view timeline tracers sample mid-run.
+func (s *Server) Accounting() RequestAccounting {
+	a := s.acct
+	a.InFlight = s.live
+	return a
 }
 
 // Err reports why the run aborted early (the engine watchdog tripped or
@@ -687,11 +846,21 @@ func (s *Server) Collect() Result {
 		final.Retransmits = reqs.Retransmits
 		final.TimedOut = reqs.TimedOut
 		final.Lost = reqs.Lost
+		final.Shed = reqs.Shed
 		final.InFlight = reqs.InFlight
 		final.KernelCompleted = completed
 		final.NICDrops = res.Drops
 		final.KernelSockDrops = sockDrops
 		final.FaultWireDrops = res.Faults.WireDrops
+		final.CrashRingFails = s.NIC.TotalCrashFails()
+		var kcf uint64
+		for _, k := range s.Kernels {
+			kcf += k.Counters().CrashFails
+		}
+		final.KernelCrashFails = kcf
+		final.OfflineCores = uint64(s.Proc.OfflineCount())
+		final.CoreCrashes = res.Faults.CoreCrashes
+		final.CoreRecoveries = res.Faults.CoreRecoveries
 		final.PackageEnergyJ = energy + s.baseline
 		final.BaselineEnergyJ = s.baseline
 		for q := 0; q < s.Cfg.Model.NumCores; q++ {

@@ -42,6 +42,10 @@ type Request struct {
 	Timer    sim.Event
 	TimedOut bool
 	Lost     bool
+	// Shed marks a request refused by the server's admission controller
+	// (SLO-aware load shedding): terminal at issue time, no copy ever
+	// entered the datapath.
+	Shed bool
 }
 
 // Latency returns the end-to-end response time (0 while in flight).
