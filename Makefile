@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-compare fault-smoke failover-smoke determinism-gate fuzz-smoke clean
+.PHONY: ci vet build test race bench bench-compare fault-smoke failover-smoke determinism-gate fuzz-smoke checkpoint-smoke profile clean
 
-ci: vet build race fault-smoke failover-smoke determinism-gate fuzz-smoke bench-compare bench
+ci: vet build race fault-smoke failover-smoke determinism-gate fuzz-smoke checkpoint-smoke bench-compare bench
 
 # Fault-injection smoke matrix: the loss/retry/throttle/watchdog paths
 # run under the race detector, then one figure regenerates end to end
@@ -46,6 +46,28 @@ determinism-gate:
 	./.gate-nmapsim -quick -faults $(FAULT_SPEC) -rto 20ms -audit fig9 > .gate-c.txt
 	cmp .gate-a.txt .gate-c.txt
 	rm -f .gate-nmapsim .gate-a.txt .gate-b.txt .gate-c.txt
+
+# Checkpoint smoke: kill a journaled sweep mid-run, resume it from the
+# journal, and require byte-identical stdout against an uninterrupted
+# run. Every cell is a deterministic seeded simulation, so a journaled
+# result and a recomputed one must render identically no matter where
+# the kill landed (including before any cell completed).
+checkpoint-smoke:
+	$(GO) build -o .ckpt-nmapsweep ./cmd/nmapsweep
+	./.ckpt-nmapsweep -points 6 -dur 250 -parallel 1 > .ckpt-ref.txt
+	rm -f .ckpt.journal
+	-timeout -s KILL 1 ./.ckpt-nmapsweep -points 6 -dur 250 -parallel 1 -checkpoint .ckpt.journal > /dev/null 2>&1
+	./.ckpt-nmapsweep -points 6 -dur 250 -parallel 1 -checkpoint .ckpt.journal > .ckpt-resume.txt 2> /dev/null
+	cmp .ckpt-ref.txt .ckpt-resume.txt
+	rm -f .ckpt-nmapsweep .ckpt-ref.txt .ckpt-resume.txt .ckpt.journal
+
+# Capture CPU and heap (allocs) profiles from the standard fig12-quick
+# run: `go tool pprof cpu.prof` / `go tool pprof mem.prof`.
+profile:
+	$(GO) build -o .prof-nmapsim ./cmd/nmapsim
+	./.prof-nmapsim -quick -cpuprofile cpu.prof -memprofile mem.prof fig12 > /dev/null
+	rm -f .prof-nmapsim
+	@echo "wrote cpu.prof and mem.prof (view with: go tool pprof cpu.prof)"
 
 # Fuzz smoke: replay the checked-in corpus, let the native fuzzer mutate
 # for a few seconds, then push 200 fresh random configurations through

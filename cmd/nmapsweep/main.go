@@ -37,6 +37,8 @@ func main() {
 		"fault-injection spec, e.g. loss=0.01,throttle=10/20ms@12,corecrash=1@250ms:100ms")
 	auditOn := flag.Bool("audit", false,
 		"run every point under the invariant auditor (fails the run on any violation)")
+	checkpoint := flag.String("checkpoint", "",
+		"journal completed sweep cells to FILE and resume from it: cells already journaled are not re-run")
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
 	fcfg, err := faults.ParseSpec(*faultSpec)
@@ -46,6 +48,18 @@ func main() {
 	}
 	experiments.SetInjection(fcfg, workload.RetryConfig{})
 	experiments.SetAudit(*auditOn)
+	if *checkpoint != "" {
+		j, err := experiments.OpenJournal(*checkpoint)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nmapsweep: %v\n", err)
+			os.Exit(2)
+		}
+		if n := j.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "nmapsweep: resuming, %d cell(s) already journaled in %s\n", n, *checkpoint)
+		}
+		defer j.Close()
+		experiments.SetJournal(j)
+	}
 
 	var prof *workload.Profile
 	switch *app {

@@ -142,10 +142,43 @@ type Core struct {
 	// the freshly settled energy without perturbing the piecewise
 	// integration order — audited physics stay byte-identical.
 	aud *audit.Auditor
+
+	// pwr caches the instantaneous power draw per (pstate, condition):
+	// settle() runs on every execution boundary and C/P-state edge, and
+	// the draw is a pure function of model constants, so the voltage/
+	// frequency-ratio arithmetic is evaluated once per operating point at
+	// construction (with the exact expressions power() used to compute
+	// inline, keeping the accounting bit-identical) instead of on every
+	// call.
+	pwr []condPower
+}
+
+// condPower is a core's precomputed power draw at one operating point,
+// one value per (cstate, busy, waking) condition power() can report.
+type condPower struct {
+	busy, idle, cc1, cc6, wake float64
 }
 
 // NewCore builds a core for the given model attached to the engine.
 func NewCore(id int, m *Model, eng *sim.Engine, rng *sim.RNG) *Core {
+	pp := m.Power
+	vmax := m.PStates[0].Volt
+	fmax := m.PStates[0].FreqGHz
+	pwr := make([]condPower, len(m.PStates))
+	for p, ps := range m.PStates {
+		vr := ps.Volt / vmax
+		fr := ps.FreqGHz / fmax
+		uncore := pp.UncoreDynW / float64(m.NumCores) * vr * vr * fr
+		dyn := pp.DynW * vr * vr * fr
+		static := pp.StaticW * vr
+		pwr[p] = condPower{
+			busy: dyn + static + uncore,
+			idle: pp.IdleActivity*dyn + static + uncore,
+			cc1:  pp.CC1W*vr + uncore,
+			cc6:  pp.CC6W + uncore,
+			wake: pp.WakeW + uncore,
+		}
+	}
 	return &Core{
 		ID:      id,
 		model:   m,
@@ -154,6 +187,7 @@ func NewCore(id int, m *Model, eng *sim.Engine, rng *sim.RNG) *Core {
 		cur:     0,
 		pending: -1,
 		cstate:  CC0,
+		pwr:     pwr,
 	}
 }
 
@@ -186,33 +220,26 @@ func (c *Core) Busy() bool { return c.busy }
 func (c *Core) Transitions() int64 { return c.transCount }
 
 // power returns the instantaneous power draw in watts for the current
-// (cstate, pstate, busy) condition, per the PowerParams model.
+// (cstate, pstate, busy) condition, per the PowerParams model. The
+// per-condition values come from the table precomputed in NewCore.
 func (c *Core) power() float64 {
 	if c.offline {
 		return 0
 	}
-	pp := c.model.Power
-	ps := c.model.PStates[c.cur]
-	vmax := c.model.PStates[0].Volt
-	fmax := c.model.PStates[0].FreqGHz
-	vr := ps.Volt / vmax
-	fr := ps.FreqGHz / fmax
-	uncore := pp.UncoreDynW / float64(c.model.NumCores) * vr * vr * fr
+	pw := &c.pwr[c.cur]
 	if c.eng.Now() <= c.wakingUntil {
-		return pp.WakeW + uncore
+		return pw.wake
 	}
 	switch c.cstate {
 	case CC1:
-		return pp.CC1W*vr + uncore
+		return pw.cc1
 	case CC6:
-		return pp.CC6W + uncore
+		return pw.cc6
 	}
-	dyn := pp.DynW * vr * vr * fr
-	static := pp.StaticW * vr
 	if c.busy {
-		return dyn + static + uncore
+		return pw.busy
 	}
-	return pp.IdleActivity*dyn + static + uncore
+	return pw.idle
 }
 
 // settle brings the energy and residency accumulators current.

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"nmapsim/internal/server"
+)
+
+// Sweep checkpointing: a journal of completed cell results keyed by spec
+// hash, so a 10k-cell sweep killed mid-run resumes where it stopped
+// instead of recomputing from scratch.
+//
+// Format: one JSON object per line ("spec" = SpecHash, "result" = the
+// full server.Result including the raw latency histogram), appended and
+// fsynced as each cell completes. Append-only JSONL makes the journal
+// kill-safe: a process dying mid-write leaves at most one torn final
+// line, which the loader discards. Because every cell is a deterministic
+// seeded run, a journaled result is byte-identical to recomputing the
+// cell, so a resumed sweep's output matches an uninterrupted one exactly.
+
+// SpecHash returns a stable identity for a spec: the policy/idle pair,
+// the full server configuration (processor and workload identified by
+// name), and the package-level injection/audit defaults Build would
+// fold in. Two specs hash equal iff they describe the same deterministic
+// cell.
+func SpecHash(spec Spec) string {
+	model, profile := "", ""
+	cfg := spec.Cfg
+	if cfg.Model != nil {
+		model = cfg.Model.Name
+	}
+	if cfg.Profile != nil {
+		profile = cfg.Profile.Name
+	}
+	cfg.Model, cfg.Profile = nil, nil
+	f, r := Injection()
+	sum := sha256.Sum256(fmt.Appendf(nil, "v1|%s|%s|%d|%+v|model=%s|profile=%s|%+v|inj=%+v|retry=%+v|audit=%v",
+		spec.Policy, spec.Idle, spec.UserspaceP, spec.Thresholds,
+		model, profile, cfg, f, r, AuditDefault()))
+	return hex.EncodeToString(sum[:16])
+}
+
+type journalEntry struct {
+	Spec   string          `json:"spec"`
+	Result json.RawMessage `json:"result"`
+}
+
+// Journal is an append-only record of completed sweep cells. Lookup and
+// Record are safe for concurrent use by the worker pool.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]json.RawMessage
+}
+
+// OpenJournal opens (creating if absent) the journal at path and loads
+// every complete entry already present. Torn or malformed lines — the
+// residue of a kill mid-write — are skipped, not fatal.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, done: map[string]json.RawMessage{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<28)
+	for sc.Scan() {
+		var ent journalEntry
+		if json.Unmarshal(sc.Bytes(), &ent) != nil || ent.Spec == "" {
+			continue
+		}
+		j.done[ent.Spec] = append(json.RawMessage(nil), ent.Result...)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// Len reports how many completed cells the journal holds.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Lookup returns the journaled result for a spec hash.
+func (j *Journal) Lookup(hash string) (server.Result, bool) {
+	j.mu.Lock()
+	raw, ok := j.done[hash]
+	j.mu.Unlock()
+	if !ok {
+		return server.Result{}, false
+	}
+	var res server.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return server.Result{}, false
+	}
+	return res, true
+}
+
+// Record appends one completed cell and syncs it to disk before
+// returning, so a later kill cannot lose it.
+func (j *Journal) Record(hash string, res server.Result) error {
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(journalEntry{Spec: hash, Result: raw})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.done[hash] = raw
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// Package-level checkpoint journal (the CLIs' -checkpoint flag): when
+// set, RunSpecs serves journaled cells without re-running them and
+// journals every cell that completes cleanly.
+var (
+	jMu           sync.RWMutex
+	activeJournal *Journal
+)
+
+// SetJournal installs the checkpoint journal consulted by RunSpecs.
+// nil disables checkpointing.
+func SetJournal(j *Journal) {
+	jMu.Lock()
+	activeJournal = j
+	jMu.Unlock()
+}
+
+// ActiveJournal returns the installed checkpoint journal, or nil.
+func ActiveJournal() *Journal {
+	jMu.RLock()
+	defer jMu.RUnlock()
+	return activeJournal
+}

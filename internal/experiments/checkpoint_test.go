@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"nmapsim/internal/server"
+	"nmapsim/internal/sim"
+	"nmapsim/internal/workload"
+)
+
+func checkpointSpecs() []Spec {
+	prof := workload.Memcached()
+	specs := make([]Spec, 3)
+	for i := range specs {
+		specs[i] = Spec{
+			Policy: "performance",
+			Cfg: server.Config{
+				Seed:     42,
+				Profile:  prof,
+				RPS:      prof.HighRPS * float64(i+1) / 8,
+				Warmup:   10 * sim.Millisecond,
+				Duration: 40 * sim.Millisecond,
+			},
+		}
+	}
+	return specs
+}
+
+// sameResult asserts the fields a sweep renders (and everything else the
+// journal round-trips) are identical between a fresh run and a
+// journal-served one, with float fields compared bit for bit.
+func sameResult(t *testing.T, tag string, a, b server.Result) {
+	t.Helper()
+	if a.Summary != b.Summary {
+		t.Fatalf("%s: Summary diverged:\n fresh   %+v\n resumed %+v", tag, a.Summary, b.Summary)
+	}
+	if math.Float64bits(a.EnergyJ) != math.Float64bits(b.EnergyJ) ||
+		math.Float64bits(a.AvgPowerW) != math.Float64bits(b.AvgPowerW) {
+		t.Fatalf("%s: energy diverged: fresh (%v, %v) resumed (%v, %v)",
+			tag, a.EnergyJ, a.AvgPowerW, b.EnergyJ, b.AvgPowerW)
+	}
+	if a.Completed != b.Completed || a.Drops != b.Drops || a.SLO != b.SLO ||
+		math.Float64bits(a.FracOverSLO) != math.Float64bits(b.FracOverSLO) ||
+		a.Violated != b.Violated || a.Transitions != b.Transitions ||
+		a.Reqs != b.Reqs || a.SockDrops != b.SockDrops {
+		t.Fatalf("%s: counters diverged:\n fresh   %+v\n resumed %+v", tag, a, b)
+	}
+	if !reflect.DeepEqual(a.PerCore, b.PerCore) {
+		t.Fatalf("%s: PerCore diverged", tag)
+	}
+	if a.Hist.N() != b.Hist.N() || a.Hist.P(0.99) != b.Hist.P(0.99) || a.Hist.Max() != b.Hist.Max() {
+		t.Fatalf("%s: histogram diverged: n=%d/%d p99=%v/%v",
+			tag, a.Hist.N(), b.Hist.N(), a.Hist.P(0.99), b.Hist.P(0.99))
+	}
+}
+
+// TestCheckpointResumeByteIdentical simulates a sweep killed mid-run:
+// a journal holding a prefix of the cells (plus a torn trailing line,
+// as a real kill mid-write leaves) is resumed over the full spec list,
+// and every result must match an uninterrupted sweep exactly.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	specs := checkpointSpecs()
+
+	// Uninterrupted reference sweep, no journal.
+	want, err := RunSpecs(specs)
+	if err != nil {
+		t.Fatalf("reference sweep: %v", err)
+	}
+
+	// "Killed" sweep: the first two cells complete and are journaled.
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	SetJournal(j)
+	defer SetJournal(nil)
+	if _, err := RunSpecs(specs[:2]); err != nil {
+		t.Fatalf("partial sweep: %v", err)
+	}
+	j.Close()
+
+	// The kill interrupts a Record in flight: append a torn line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"spec":"deadbeef","result":{"Ener`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Resume: reopen the journal and run the full sweep.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	}
+	defer j2.Close()
+	if n := j2.Len(); n != 2 {
+		t.Fatalf("journal reloaded %d cells, want 2 (torn line must be dropped)", n)
+	}
+	SetJournal(j2)
+	got, err := RunSpecs(specs)
+	if err != nil {
+		t.Fatalf("resumed sweep: %v", err)
+	}
+
+	for i := range specs {
+		sameResult(t, specs[i].Policy, want[i], got[i])
+	}
+	if n := j2.Len(); n != 3 {
+		t.Fatalf("journal holds %d cells after resume, want 3", n)
+	}
+}
+
+func TestSpecHashStableAndDistinct(t *testing.T) {
+	specs := checkpointSpecs()
+	h0 := SpecHash(specs[0])
+	if h0 != SpecHash(specs[0]) {
+		t.Fatal("SpecHash is not stable for an identical spec")
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		h := SpecHash(s)
+		if seen[h] {
+			t.Fatalf("distinct specs collide on hash %s", h)
+		}
+		seen[h] = true
+	}
+	other := specs[0]
+	other.Idle = "disable"
+	if SpecHash(other) == h0 {
+		t.Fatal("idle policy change did not change the hash")
+	}
+}

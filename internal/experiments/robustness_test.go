@@ -81,10 +81,15 @@ func TestRunSpecsCtxCancelMidSweep(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 		cancel()
 	}()
-	// Enough serial work that the cancel lands mid-sweep.
-	specs := make([]Spec, 8)
+	// Enough serial work that the cancel lands mid-sweep: the calendar
+	// queue runs a quickCfg cell in a handful of wall milliseconds, so
+	// the sweep needs both more and longer cells to reliably outlast
+	// the 50ms cancel delay.
+	specs := make([]Spec, 16)
 	for i := range specs {
-		specs[i] = Spec{Policy: "ondemand", Idle: "menu", Cfg: quickCfg()}
+		cfg := quickCfg()
+		cfg.Duration = 400 * sim.Millisecond
+		specs[i] = Spec{Policy: "ondemand", Idle: "menu", Cfg: cfg}
 	}
 	withParallelism(t, 1, func() {
 		cells, err := RunSpecsCtx(ctx, specs)

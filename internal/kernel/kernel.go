@@ -185,53 +185,36 @@ type Counters struct {
 	CrashFails uint64
 }
 
-// CoreKernel is the per-core kernel instance.
+// CoreKernel is the per-core kernel instance. Field order is
+// cache-conscious: the dispatch state machine reads the engine/device
+// pointers, the execution/NAPI flags, and the softirq scratch fields on
+// every packet, so they are packed up front (bools adjacent to minimize
+// padding); construction-time configuration, assembly hooks, and
+// counters trail behind.
 type CoreKernel struct {
-	ID   int
 	eng  *sim.Engine
 	core *cpu.Core
 	dev  *nic.NIC
-	cfg  Config
-
-	// AppCycles returns the application service cost (cycles) for one
-	// request. Set by the server assembly before the run. The typed
-	// signature (no `any` boxing) is part of the allocation-free path.
-	AppCycles func(r *workload.Request) float64
-	// OnAppComplete fires when the app thread finishes a request; the
-	// server assembly transmits the response from here.
-	OnAppComplete func(r *workload.Request)
-	// OnSockDrop fires when a request is dropped on socket-queue
-	// overflow (Config.SockQCap), so the server can mark the in-flight
-	// copy lost instead of leaking it.
-	OnSockDrop func(r *workload.Request)
-	// OnCrashFail fires for each request this kernel fails into the
-	// ledger on a hard fault (see Counters.CrashFails); the server marks
-	// the in-flight copy lost so the client's RTO observes the crash.
-	OnCrashFail func(r *workload.Request)
-
-	idlePol   IdlePolicy
-	listeners []NAPIListener
-	// aud is the run's invariant auditor (nil = unaudited): it mirrors
-	// the NAPI state machine and counts the socket-queue/app legs of
-	// packet conservation.
-	aud *audit.Auditor
 
 	// Execution state.
-	exec      *cpu.Exec
-	owner     execOwner
-	sleeping  bool
-	waking    bool
-	offline   bool // hard-failed: no dispatch until Recover
-	idleStart sim.Time
+	exec    *cpu.Exec
+	owner   execOwner
+	lastRan execOwner // round-robin between ksoftirqd and the app thread
+
+	sleeping bool
+	waking   bool
+	offline  bool // hard-failed: no dispatch until Recover
 
 	// IRQ/NAPI state.
 	hardirqPending bool
 	napiScheduled  bool
 	inKsoftirqd    bool // NAPI ownership migrated to ksoftirqd
 	firstPass      bool
-	softirqStart   sim.Time
-	softirqPasses  int
 	needResched    bool // set by the scheduler tick while softirq hogs the core
+
+	idleStart     sim.Time
+	softirqStart  sim.Time
+	softirqPasses int
 
 	// Saved batch when an app execution resumes after preemption (only
 	// the app is preemptible: IRQs stay masked during NAPI processing).
@@ -253,8 +236,30 @@ type CoreKernel struct {
 	appDone     func()
 	wakeDone    func()
 
-	// Round-robin bookkeeping between ksoftirqd and the app thread.
-	lastRan execOwner
+	// AppCycles returns the application service cost (cycles) for one
+	// request. Set by the server assembly before the run. The typed
+	// signature (no `any` boxing) is part of the allocation-free path.
+	AppCycles func(r *workload.Request) float64
+	// OnAppComplete fires when the app thread finishes a request; the
+	// server assembly transmits the response from here.
+	OnAppComplete func(r *workload.Request)
+	// OnSockDrop fires when a request is dropped on socket-queue
+	// overflow (Config.SockQCap), so the server can mark the in-flight
+	// copy lost instead of leaking it.
+	OnSockDrop func(r *workload.Request)
+	// OnCrashFail fires for each request this kernel fails into the
+	// ledger on a hard fault (see Counters.CrashFails); the server marks
+	// the in-flight copy lost so the client's RTO observes the crash.
+	OnCrashFail func(r *workload.Request)
+
+	ID        int
+	cfg       Config
+	idlePol   IdlePolicy
+	listeners []NAPIListener
+	// aud is the run's invariant auditor (nil = unaudited): it mirrors
+	// the NAPI state machine and counts the socket-queue/app legs of
+	// packet conservation.
+	aud *audit.Auditor
 
 	c Counters
 }

@@ -75,26 +75,32 @@ func DefaultConfig(queues int) Config {
 	}
 }
 
+// queue field order is cache-conscious: the per-packet DMA/Poll path
+// (ring, batch, nextIRQ, txPending, and the three gate flags) lives in
+// the leading cache line; timer plumbing and failure-mode counters that
+// are touched per-interrupt or per-fault trail behind.
 type queue struct {
-	ring       []*Packet
-	batch      []*Packet // reusable Poll return buffer
-	txPending  int       // Tx completions awaiting softirq cleaning
+	ring      []*Packet
+	batch     []*Packet // reusable Poll return buffer
+	nextIRQ   sim.Time  // earliest instant ITR allows the next interrupt
+	txPending int       // Tx completions awaiting softirq cleaning
+
 	irqEnabled bool
-	nextIRQ    sim.Time // earliest instant ITR allows the next interrupt
-	irqTimer   sim.Event
-	irqRetry   func() // bound once: re-runs maybeInterrupt at the ITR slot
-	drops      uint64
-	interrupts uint64
 	// offline marks a queue whose core hard-failed: the RSS re-steer
 	// table sends its flows to the next online queue and DMA never
 	// lands here. crashFails counts the stranded ring packets failed
 	// into the ledger at offline time.
-	offline    bool
-	crashFails uint64
+	offline bool
 	// stalled marks a stuck ring: DMA keeps landing packets (so the
 	// ring fills and overflows honestly) but the queue raises no
 	// interrupts and returns nothing to Poll until the stall lifts.
 	stalled bool
+
+	irqTimer   sim.Event
+	irqRetry   func() // bound once: re-runs maybeInterrupt at the ITR slot
+	drops      uint64
+	interrupts uint64
+	crashFails uint64
 }
 
 // txOp is the pooled in-flight state of one Transmit call: the shared

@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -34,6 +35,30 @@ func (h *Hist) Add(d sim.Duration) {
 
 // N returns the number of samples.
 func (h *Hist) N() int { return len(h.samples) }
+
+// MarshalJSON encodes the raw sample array, so a histogram survives a
+// checkpoint-journal round trip with full fidelity (exact percentiles,
+// not a lossy digest).
+func (h *Hist) MarshalJSON() ([]byte, error) {
+	return json.Marshal(h.samples)
+}
+
+// UnmarshalJSON restores a histogram written by MarshalJSON. The running
+// sum is rebuilt by accumulating in stored sample order, so any journal
+// decodes to the same histogram byte for byte — every resumed run
+// computes identical percentiles and means from identical state.
+func (h *Hist) UnmarshalJSON(b []byte) error {
+	h.samples = h.samples[:0]
+	if err := json.Unmarshal(b, &h.samples); err != nil {
+		return err
+	}
+	h.sorted = false
+	h.sum = 0
+	for _, v := range h.samples {
+		h.sum += float64(v)
+	}
+	return nil
+}
 
 // Mean returns the mean latency.
 func (h *Hist) Mean() sim.Duration {
