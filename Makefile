@@ -3,9 +3,17 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-compare fault-smoke failover-smoke determinism-gate fuzz-smoke checkpoint-smoke profile clean
+# Profile-guided optimization: default.pgo is a committed CPU profile of
+# the representative fig12 run (refresh with `make pgo`). Build/bench
+# targets pass it explicitly so every package — not just the main one —
+# compiles with profile feedback; pgo-smoke proves the PGO codegen is
+# physics-byte-identical to a -pgo=off build.
+PGO = default.pgo
+PGOFLAG = $(if $(wildcard $(PGO)),-pgo=$(PGO),)
 
-ci: vet build race fault-smoke failover-smoke determinism-gate fuzz-smoke checkpoint-smoke bench-compare bench
+.PHONY: ci vet build test race bench bench-compare fault-smoke failover-smoke determinism-gate fuzz-smoke checkpoint-smoke pgo pgo-smoke pgo-bench profile clean
+
+ci: vet build race fault-smoke failover-smoke determinism-gate fuzz-smoke checkpoint-smoke pgo-smoke bench-compare bench
 
 # Fault-injection smoke matrix: the loss/retry/throttle/watchdog paths
 # run under the race detector, then one figure regenerates end to end
@@ -78,11 +86,41 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzAuditInvariants -fuzztime 10s ./internal/fuzzer/
 	$(GO) run ./cmd/nmapfuzz -n 200 -seed 1
 
+# Record a fresh PGO profile from the representative fig12-quick run.
+# The profile is recorded with a -pgo=off binary so it describes the
+# un-optimized hot paths (iterating PGO on its own output converges on
+# stale inlining decisions), then committed as $(PGO).
+pgo:
+	$(GO) build -pgo=off -o .pgo-nmapsim ./cmd/nmapsim
+	./.pgo-nmapsim -quick -parallel 1 -cpuprofile $(PGO) fig12 > /dev/null
+	rm -f .pgo-nmapsim
+	@echo "wrote $(PGO); commit it so make ci builds with it"
+
+# PGO determinism gate: profile-guided codegen must never drift physics.
+# The PGO build renders fig9 twice (self-deterministic) and the bytes
+# must match a -pgo=off build of the same source exactly.
+pgo-smoke:
+	$(GO) build $(PGOFLAG) -o .pgo-on-nmapsim ./cmd/nmapsim
+	$(GO) build -pgo=off -o .pgo-off-nmapsim ./cmd/nmapsim
+	./.pgo-on-nmapsim -quick fig9 > .pgo-a.txt
+	./.pgo-on-nmapsim -quick fig9 > .pgo-b.txt
+	cmp .pgo-a.txt .pgo-b.txt
+	./.pgo-off-nmapsim -quick fig9 > .pgo-c.txt
+	cmp .pgo-a.txt .pgo-c.txt
+	rm -f .pgo-on-nmapsim .pgo-off-nmapsim .pgo-a.txt .pgo-b.txt .pgo-c.txt
+
+# Advisory pgo-on/off delta: re-run the fast benchmarks with PGO codegen
+# and print the delta table against the committed baseline without
+# gating (the baseline records which codegen produced it in its "pgo"
+# field).
+pgo-bench:
+	$(GO) run $(PGOFLAG) ./cmd/nmapbench -delta BENCH_sim.json
+
 vet:
 	$(GO) vet ./...
 
 build:
-	$(GO) build ./...
+	$(GO) build $(PGOFLAG) ./...
 
 test:
 	$(GO) test ./...
@@ -95,7 +133,7 @@ race:
 # Refresh the tracked performance baseline: engine ns/op + allocs/op and
 # the serial-vs-parallel wall-clock of the Fig 12/13 quick matrix.
 bench:
-	$(GO) run ./cmd/nmapbench -o BENCH_sim.json
+	$(GO) run $(PGOFLAG) ./cmd/nmapbench -o BENCH_sim.json
 	@cat BENCH_sim.json
 
 # Diff the fast benchmarks (engine micro + end-to-end allocs/request)
@@ -104,7 +142,7 @@ bench:
 # numbers recorded on a different host are advisory, but the failure
 # still prints for the reviewer.
 bench-compare:
-	-$(GO) run ./cmd/nmapbench -compare BENCH_sim.json
+	-$(GO) run $(PGOFLAG) ./cmd/nmapbench -compare BENCH_sim.json
 
 clean:
 	$(GO) clean ./...

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	nmapreport [-app memcached|nginx|both] [-policies p1,p2,...]
-//	           [-seeds N] [-dur MS] [-cdf] [-faults SPEC] [-audit] [-o FILE]
+//	           [-seeds N] [-dur MS] [-cdf] [-faults SPEC] [-audit] [-stream] [-o FILE]
 package main
 
 import (
@@ -37,6 +37,8 @@ func main() {
 		"run every cell under the invariant auditor (fails the run on any violation)")
 	auditReport := flag.Bool("audit-report", false,
 		"with -audit: print the per-rule check/violation summary to stderr after the run")
+	streamOn := flag.Bool("stream", false,
+		"record latencies into the bounded streaming histogram (fixed 64KB/cell, ~0.1% quantile error) instead of the exact sample recorder")
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
 	fcfg, err := faults.ParseSpec(*faultSpec)
@@ -48,6 +50,7 @@ func main() {
 	if *auditOn || *auditReport {
 		experiments.SetAudit(true)
 	}
+	experiments.SetStreaming(*streamOn)
 
 	var profs []*workload.Profile
 	switch *app {

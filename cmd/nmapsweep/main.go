@@ -7,7 +7,7 @@
 // Usage:
 //
 //	nmapsweep [-app memcached|nginx] [-policy NAME] [-idle NAME]
-//	          [-points N] [-dur MS]
+//	          [-points N] [-dur MS] [-stream] [-checkpoint FILE]
 package main
 
 import (
@@ -37,6 +37,8 @@ func main() {
 		"fault-injection spec, e.g. loss=0.01,throttle=10/20ms@12,corecrash=1@250ms:100ms")
 	auditOn := flag.Bool("audit", false,
 		"run every point under the invariant auditor (fails the run on any violation)")
+	streamOn := flag.Bool("stream", false,
+		"record latencies into the bounded streaming histogram (fixed 64KB/cell, ~0.1% quantile error) instead of the exact sample recorder")
 	checkpoint := flag.String("checkpoint", "",
 		"journal completed sweep cells to FILE and resume from it: cells already journaled are not re-run")
 	flag.Parse()
@@ -48,6 +50,7 @@ func main() {
 	}
 	experiments.SetInjection(fcfg, workload.RetryConfig{})
 	experiments.SetAudit(*auditOn)
+	experiments.SetStreaming(*streamOn)
 	if *checkpoint != "" {
 		j, err := experiments.OpenJournal(*checkpoint)
 		if err != nil {

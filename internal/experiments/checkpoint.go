@@ -40,9 +40,9 @@ func SpecHash(spec Spec) string {
 	}
 	cfg.Model, cfg.Profile = nil, nil
 	f, r := Injection()
-	sum := sha256.Sum256(fmt.Appendf(nil, "v1|%s|%s|%d|%+v|model=%s|profile=%s|%+v|inj=%+v|retry=%+v|audit=%v",
+	sum := sha256.Sum256(fmt.Appendf(nil, "v1|%s|%s|%d|%+v|model=%s|profile=%s|%+v|inj=%+v|retry=%+v|audit=%v|stream=%v",
 		spec.Policy, spec.Idle, spec.UserspaceP, spec.Thresholds,
-		model, profile, cfg, f, r, AuditDefault()))
+		model, profile, cfg, f, r, AuditDefault(), StreamingDefault()))
 	return hex.EncodeToString(sum[:16])
 }
 

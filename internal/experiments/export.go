@@ -34,6 +34,12 @@ type Record struct {
 
 	// CDF holds (ms, fraction) pairs when requested.
 	CDF [][2]float64 `json:"cdf,omitempty"`
+
+	// Streaming marks records whose quantiles come from the bounded
+	// streaming recorder (bucket midpoints, within stats.StreamRelError)
+	// rather than exact order statistics, so archived results stay
+	// self-describing.
+	Streaming bool `json:"streaming,omitempty"`
 }
 
 // NewRecord builds a record from a spec and its result.
@@ -65,6 +71,7 @@ func NewRecord(spec Spec, res server.Result, withCDF bool) Record {
 		PowerW:      res.AvgPowerW,
 		Drops:       res.Drops,
 		Transitions: res.Transitions,
+		Streaming:   res.Hist != nil && res.Hist.Streaming(),
 	}
 	if spec.Cfg.RPS == 0 {
 		r.Level = spec.Cfg.Level.String()

@@ -167,6 +167,32 @@ func AuditReport() *audit.Report {
 	return audTally.Clone()
 }
 
+// Package-level streaming-histogram default (the CLIs' -stream flag):
+// when on, Build records latencies into the bounded streaming-quantile
+// histogram on every spec that does not already request it. Streaming
+// runs trade exact order statistics for a fixed ~64KB footprint per
+// cell (see stats.StreamRelError), which is what fleet-scale sweeps
+// want; the exact default stays byte-identical to the seed.
+var (
+	streamMu sync.RWMutex
+	streamOn bool
+)
+
+// SetStreaming installs the package-default streaming-histogram switch.
+func SetStreaming(on bool) {
+	streamMu.Lock()
+	streamOn = on
+	streamMu.Unlock()
+}
+
+// StreamingDefault reports the package-default streaming-histogram
+// switch.
+func StreamingDefault() bool {
+	streamMu.RLock()
+	defer streamMu.RUnlock()
+	return streamOn
+}
+
 // Build assembles the server and its policy without running it, so
 // callers can attach tracers first. The spec's configuration is
 // validated here — an invalid NIC/kernel/CPU parameter surfaces as a
@@ -191,6 +217,9 @@ func Build(spec Spec) (*server.Server, error) {
 	}
 	if !cfg.Audit {
 		cfg.Audit = AuditDefault()
+	}
+	if !cfg.StreamingHist {
+		cfg.StreamingHist = StreamingDefault()
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err

@@ -109,6 +109,15 @@ type Config struct {
 	// unaudited physics: the hooks add no events, draw no randomness and
 	// allocate nothing on the steady-state path.
 	Audit bool
+	// StreamingHist records response latencies into the bounded
+	// streaming-quantile histogram (fixed ~64KB, ~0.1% relative error on
+	// quantiles, see stats.StreamRelError) instead of the exact sample
+	// recorder. Off by default: exact mode is pinned byte-identical to
+	// the seed. Streaming mode never changes physics — only what the
+	// measurement substrate reports — but quantiles are bucket midpoints
+	// rather than exact order statistics, so figure text rendered from a
+	// streaming run is NOT byte-comparable against an exact run.
+	StreamingHist bool
 }
 
 func (c Config) withDefaults() Config {
@@ -396,7 +405,11 @@ func New(cfg Config, idle kernel.IdlePolicy) *Server {
 		rng:     rng,
 		netRng:  rng.Fork(),
 		idlePol: idle,
-		Hist:    stats.NewHist(1 << 16),
+	}
+	if cfg.StreamingHist {
+		s.Hist = stats.NewStreamingHist()
+	} else {
+		s.Hist = stats.NewHist(histCapacity(cfg))
 	}
 	s.Proc = cpu.NewProcessor(cfg.Model, eng, rng.Fork())
 	s.Proc.ForceChipWide = cfg.ForceChipWide
@@ -470,6 +483,28 @@ func New(cfg Config, idle kernel.IdlePolicy) *Server {
 		DisableBatching: cfg.DisablePooling,
 	}
 	return s
+}
+
+// histCapacity sizes the exact recorder's sample buffer from the run
+// horizon — offered load × measured window plus headroom for the tail —
+// so steady-state recording never regrows the slice. Capacity is
+// physics-neutral: it changes when the backing array is allocated,
+// never what is recorded in it.
+func histCapacity(cfg Config) int {
+	rps := cfg.RPS
+	for _, l := range cfg.VariableLevels {
+		if l > rps {
+			rps = l
+		}
+	}
+	n := rps * float64(cfg.Duration) / 1e9 * 1.25
+	switch {
+	case n < 1<<12:
+		return 1 << 12
+	case n > 1<<22:
+		return 1 << 22
+	}
+	return int(n)
 }
 
 // appCost is the kernel's service-cost hook: the request carries its

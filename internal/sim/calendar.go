@@ -42,6 +42,21 @@ package sim
 // occupied rung. Recalibration triggers on occupancy bounds and on
 // horizon drift, rebuilds in O(n), and is driven purely by queue state
 // — never by wall clock — so it is deterministic and replay-safe.
+//
+// Occupancy bitmap: one uint64 word summarizes 64 rungs (bit set ⇔ rung
+// list non-empty), maintained by the O(1) rung link/unlink paths. The
+// cursor walk in peekMin jumps straight to the next occupied rung with
+// bits.TrailingZeros64 instead of probing rung heads one by one, and the
+// calibration rebuild collects residents by iterating set bits, so both
+// scans skip empty rungs in O(1) per word instead of O(1) per rung. The
+// invariants: (1) occ bit p is set iff buckets[p] != nil, restored
+// before every return from the mutating paths; (2) the bitmap indexes
+// physical rungs, not virtual buckets — during a cursor-pullback
+// transient (window span > rung count) a set bit may point at a rung
+// whose residents all belong to a later lap, which the year check in
+// rungMin filters exactly as it did for the probed walk.
+
+import "math/bits"
 
 const (
 	// Rung-count bounds. minBuckets keeps the window wide enough that
@@ -71,7 +86,9 @@ const (
 // NIC/softirq tick pattern before the first calibration has data.
 func (e *Engine) initCalendar() {
 	e.allRungs = make([]*event, minBuckets)
+	e.allOcc = make([]uint64, minBuckets/64)
 	e.buckets = e.allRungs
+	e.occ = e.allOcc
 	e.mask = minBuckets - 1
 	e.shift = 11
 	e.ewmaH = 32 << 10
@@ -131,7 +148,8 @@ func (e *Engine) enqueue(ev *event) {
 }
 
 // bucketPut pushes ev onto the rung list for virtual bucket vb. Pure
-// pointer writes on pooled records — never allocates.
+// pointer writes on pooled records — never allocates. An empty rung
+// turning occupied sets its occupancy bit.
 func (e *Engine) bucketPut(ev *event, vb int64) {
 	p := int32(vb & e.mask)
 	ev.bkt = p
@@ -139,17 +157,24 @@ func (e *Engine) bucketPut(ev *event, vb int64) {
 	ev.next = e.buckets[p]
 	if ev.next != nil {
 		ev.next.prev = ev
+	} else {
+		e.occ[p>>6] |= 1 << uint(p&63)
 	}
 	e.buckets[p] = ev
 	e.nshort++
 }
 
-// bucketRemove unlinks ev from its rung list in O(1).
+// bucketRemove unlinks ev from its rung list in O(1), clearing the
+// rung's occupancy bit when the last resident leaves.
 func (e *Engine) bucketRemove(ev *event) {
 	if ev.prev != nil {
 		ev.prev.next = ev.next
 	} else {
 		e.buckets[ev.bkt] = ev.next
+		if ev.next == nil {
+			p := ev.bkt
+			e.occ[p>>6] &^= 1 << uint(p&63)
+		}
 	}
 	if ev.next != nil {
 		ev.next.prev = ev.prev
@@ -202,16 +227,54 @@ func (e *Engine) peekMin() *event {
 			e.advanceWindow()
 			continue
 		}
-		x := e.buckets[int32(e.curVb&e.mask)]
-		if x != nil {
-			best := e.rungMin(x, e.curVb)
-			if best != nil {
+		// Jump the cursor to the next occupied rung via the occupancy
+		// bitmap. Rung-resident events all have curVb <= vb < winEnd, so
+		// with the window spanning at most one lap the jump target is
+		// exactly the next virtual bucket holding events; during a
+		// cursor-pullback transient (span > one lap) the rung may hold
+		// only later-lap residents, which rungMin filters — the cursor
+		// then steps past and rescans.
+		d := e.occNext(e.curVb & e.mask)
+		if d < 0 {
+			// No rung is occupied: everything pending lives in the
+			// overflow ladder. Re-open the window at its earliest event.
+			e.curVb = int64(e.over[0].at) >> e.shift
+			e.advanceWindow()
+			continue
+		}
+		vb := e.curVb + d
+		if x := e.buckets[int32(vb&e.mask)]; x != nil {
+			if best := e.rungMin(x, vb); best != nil {
+				e.curVb = vb
 				e.minEv = best
 				return best
 			}
 		}
-		e.curVb++
+		e.curVb = vb + 1
 	}
+}
+
+// occNext returns the circular distance (in rungs) from physical rung p
+// to the nearest occupied rung at or after it, or -1 when every rung is
+// empty. One shifted word test resolves the common case; otherwise the
+// scan touches one word per 64 rungs.
+func (e *Engine) occNext(p int64) int64 {
+	w := p >> 6
+	off := uint(p & 63)
+	if x := e.occ[w] >> off; x != 0 {
+		return int64(bits.TrailingZeros64(x))
+	}
+	nw := int64(len(e.occ))
+	for i := int64(1); i <= nw; i++ {
+		wi := w + i
+		if wi >= nw {
+			wi -= nw
+		}
+		if x := e.occ[wi]; x != 0 {
+			return i<<6 - int64(off) + int64(bits.TrailingZeros64(x))
+		}
+	}
+	return -1
 }
 
 // rungMin returns the (at, seq) minimum among the events in rung list x
@@ -304,15 +367,24 @@ func (e *Engine) idealShift(n int64) uint {
 // high-water mark, so steady-state rebuilds never allocate.
 func (e *Engine) calibrate() {
 	all := e.scratch[:0]
-	for i, b := range e.buckets {
-		for x := b; x != nil; {
-			next := x.next
-			x.next = nil
-			x.prev = nil
-			all = append(all, x)
-			x = next
+	// The occupancy bitmap names exactly the non-empty rungs, so the
+	// collection pass touches one word per 64 rungs plus one probe per
+	// resident list instead of every rung head.
+	for w, bitsW := range e.occ {
+		for bitsW != 0 {
+			b := bits.TrailingZeros64(bitsW)
+			bitsW &= bitsW - 1
+			i := w<<6 + b
+			for x := e.buckets[i]; x != nil; {
+				next := x.next
+				x.next = nil
+				x.prev = nil
+				all = append(all, x)
+				x = next
+			}
+			e.buckets[i] = nil
 		}
-		e.buckets[i] = nil
+		e.occ[w] = 0
 	}
 	all = append(all, e.over...)
 	for j := range e.over {
@@ -326,8 +398,10 @@ func (e *Engine) calibrate() {
 	}
 	if nb > len(e.allRungs) {
 		e.allRungs = make([]*event, nb)
+		e.allOcc = make([]uint64, nb/64)
 	}
 	e.buckets = e.allRungs[:nb] // shrink is a reslice of the high-water backing
+	e.occ = e.allOcc[:nb/64]
 	e.mask = int64(nb - 1)
 	e.shift = e.idealShift(int64(len(all)))
 

@@ -175,6 +175,8 @@ type Engine struct {
 	// buffer for rebuilds.
 	buckets  []*event // the live rung heads: allRungs[:nb]
 	allRungs []*event // high-water backing so recalibration never allocates in steady state
+	occ      []uint64 // rung occupancy bitmap: bit p set iff buckets[p] != nil; allOcc[:nb/64]
+	allOcc   []uint64 // high-water backing for occ, grown in lockstep with allRungs
 	mask     int64
 	shift    uint
 	curVb    int64

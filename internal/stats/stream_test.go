@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"nmapsim/internal/sim"
+)
+
+// relErr returns |a-b| / b.
+func relErr(a, b sim.Duration) float64 {
+	if b == 0 {
+		return math.Abs(float64(a))
+	}
+	return math.Abs(float64(a)-float64(b)) / float64(b)
+}
+
+// The acceptance property of the streaming mode: on a million-sample
+// exponential distribution (the shape of every latency histogram the
+// harness records), P50/P99/P999 agree with the exact recorder within
+// the documented StreamRelError bound, and N/Mean/Min/Max are exact.
+func TestStreamingAgreesWithExactMillionSamples(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 9000} {
+		exact := NewHist(1_000_000)
+		stream := NewStreamingHist()
+		r := sim.NewRNG(seed)
+		for i := 0; i < 1_000_000; i++ {
+			// Mean 500µs with an occasional 100x tail, exercising buckets
+			// across several octaves.
+			v := sim.Duration(r.Exp(500_000))
+			if i%1000 == 0 {
+				v *= 100
+			}
+			exact.Add(v)
+			stream.Add(v)
+		}
+		if stream.N() != exact.N() {
+			t.Fatalf("seed %d: N %d vs %d", seed, stream.N(), exact.N())
+		}
+		if stream.Mean() != exact.Mean() {
+			t.Fatalf("seed %d: Mean %v vs %v (must be exact)", seed, stream.Mean(), exact.Mean())
+		}
+		if stream.Min() != exact.Min() || stream.Max() != exact.Max() {
+			t.Fatalf("seed %d: min/max %v/%v vs %v/%v (must be exact)",
+				seed, stream.Min(), stream.Max(), exact.Min(), exact.Max())
+		}
+		for _, q := range []float64{0.50, 0.99, 0.999} {
+			e, s := exact.P(q), stream.P(q)
+			if re := relErr(s, e); re > StreamRelError {
+				t.Fatalf("seed %d: P%g = %v vs exact %v, rel err %.5f > documented bound %.5f",
+					seed, q*100, s, e, re, StreamRelError)
+			}
+		}
+	}
+}
+
+// Streaming FracLE must stay within one bucket of the exact CDF.
+func TestStreamingFracLE(t *testing.T) {
+	exact := NewHist(100_000)
+	stream := NewStreamingHist()
+	r := sim.NewRNG(7)
+	for i := 0; i < 100_000; i++ {
+		v := sim.Duration(r.Exp(200_000))
+		exact.Add(v)
+		stream.Add(v)
+	}
+	for _, d := range []sim.Duration{10_000, 100_000, 500_000, 2_000_000} {
+		e, s := exact.FracLE(d), stream.FracLE(d)
+		if math.Abs(e-s) > 0.01 {
+			t.Fatalf("FracLE(%v) = %.4f vs exact %.4f", d, s, e)
+		}
+	}
+}
+
+// A streaming histogram must survive the checkpoint journal round trip
+// with full fidelity: every query answers identically before and after.
+func TestStreamingJSONRoundTrip(t *testing.T) {
+	h := NewStreamingHist()
+	r := sim.NewRNG(11)
+	for i := 0; i < 50_000; i++ {
+		h.Add(sim.Duration(r.Exp(300_000)))
+	}
+	raw, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Hist
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Streaming() {
+		t.Fatal("round trip lost the streaming mode")
+	}
+	if back.N() != h.N() || back.Mean() != h.Mean() || back.Min() != h.Min() || back.Max() != h.Max() {
+		t.Fatal("round trip changed N/Mean/Min/Max")
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 0.999, 1} {
+		if back.P(q) != h.P(q) {
+			t.Fatalf("P(%g) = %v after round trip, want %v", q, back.P(q), h.P(q))
+		}
+	}
+	if got, want := back.FracLE(300_000), h.FracLE(300_000); got != want {
+		t.Fatalf("FracLE = %v after round trip, want %v", got, want)
+	}
+}
+
+// The exact mode keeps the seed's raw-array wire form, so journals
+// written before the streaming mode existed still load.
+func TestExactJSONRoundTripLegacyFormat(t *testing.T) {
+	h := NewHist(16)
+	for _, v := range []sim.Duration{5, 3, 9, 3} {
+		h.Add(v)
+	}
+	raw, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] != '[' {
+		t.Fatalf("exact mode must marshal as a raw sample array, got %s", raw)
+	}
+	var back Hist
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Streaming() {
+		t.Fatal("exact round trip turned streaming")
+	}
+	if back.N() != 4 || back.P(0.5) != h.P(0.5) || back.Mean() != h.Mean() ||
+		back.Min() != 3 || back.Max() != 9 {
+		t.Fatal("exact round trip changed answers")
+	}
+}
+
+// CDF must agree point-for-point with querying P(q) at each fraction —
+// the one-pass render is an optimization, not a redefinition.
+func TestCDFMatchesPointQueries(t *testing.T) {
+	build := func(h *Hist) {
+		r := sim.NewRNG(3)
+		for i := 0; i < 20_000; i++ {
+			h.Add(sim.Duration(r.Exp(100_000)))
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		h    *Hist
+	}{
+		{"exact", NewHist(20_000)},
+		{"streaming", NewStreamingHist()},
+	} {
+		build(tc.h)
+		pts := tc.h.CDF(101)
+		if len(pts) != 101 {
+			t.Fatalf("%s: %d points, want 101", tc.name, len(pts))
+		}
+		for i, pt := range pts {
+			q := float64(i) / 100
+			if pt.Frac != q {
+				t.Fatalf("%s: point %d frac %v, want %v", tc.name, i, pt.Frac, q)
+			}
+			if want := tc.h.P(q); pt.Lat != want {
+				t.Fatalf("%s: CDF[%d] = %v, P(%g) = %v", tc.name, i, pt.Lat, q, want)
+			}
+		}
+	}
+}
+
+// The streaming bucket map must be exact below 1µs, monotone, and
+// self-consistent with its bounds across the whole representable range.
+func TestStreamBucketGeometry(t *testing.T) {
+	for v := int64(0); v < 1<<streamSubBits; v++ {
+		if streamBucketOf(v) != int(v) {
+			t.Fatalf("sub-µs value %d not exact", v)
+		}
+	}
+	prev := -1
+	for _, v := range []int64{1 << 10, 1<<10 + 1, 4096, 123_456, 1 << 20, 999_999_999, 1 << 39, 1<<40 - 1, 1 << 40, 1 << 50} {
+		b := streamBucketOf(v)
+		if b < prev {
+			t.Fatalf("bucket index not monotone at %d", v)
+		}
+		prev = b
+		if b >= streamBuckets {
+			t.Fatalf("bucket %d out of range for %d", b, v)
+		}
+		lo, hi := streamBucketBounds(b)
+		if v < 1<<40 && (v < lo || v >= hi) {
+			t.Fatalf("value %d outside its bucket [%d,%d)", v, lo, hi)
+		}
+		if v < 1<<40 && float64(hi-lo)/float64(lo) > StreamRelError+1e-12 {
+			t.Fatalf("bucket [%d,%d) wider than the documented bound", lo, hi)
+		}
+	}
+}
+
+// Streaming Add must be allocation-free: the whole point of the mode is
+// a fixed footprint regardless of sample count. Exact-mode Add within
+// the preallocated capacity must also be allocation-free.
+func TestHistAddZeroAllocs(t *testing.T) {
+	stream := NewStreamingHist()
+	if n := testing.AllocsPerRun(10_000, func() { stream.Add(123_456) }); n != 0 {
+		t.Fatalf("streaming Add allocates %.1f/op", n)
+	}
+	exact := NewHist(20_000)
+	if n := testing.AllocsPerRun(10_000, func() { exact.Add(123_456) }); n != 0 {
+		t.Fatalf("preallocated exact Add allocates %.1f/op", n)
+	}
+}
