@@ -11,9 +11,9 @@ GO ?= go
 PGO = default.pgo
 PGOFLAG = $(if $(wildcard $(PGO)),-pgo=$(PGO),)
 
-.PHONY: ci vet build test race bench bench-compare fault-smoke failover-smoke determinism-gate fuzz-smoke checkpoint-smoke pgo pgo-smoke pgo-bench profile clean
+.PHONY: ci vet govulncheck build test race bench bench-compare fault-smoke failover-smoke determinism-gate fuzz-smoke checkpoint-smoke chaos-smoke pgo pgo-smoke pgo-bench profile clean
 
-ci: vet build race fault-smoke failover-smoke determinism-gate fuzz-smoke checkpoint-smoke pgo-smoke bench-compare bench
+ci: vet govulncheck build race fault-smoke failover-smoke determinism-gate fuzz-smoke checkpoint-smoke chaos-smoke pgo-smoke bench-compare bench
 
 # Fault-injection smoke matrix: the loss/retry/throttle/watchdog paths
 # run under the race detector, then one figure regenerates end to end
@@ -69,6 +69,29 @@ checkpoint-smoke:
 	cmp .ckpt-ref.txt .ckpt-resume.txt
 	rm -f .ckpt-nmapsweep .ckpt-ref.txt .ckpt-resume.txt .ckpt.journal
 
+# Harness chaos gate: the self-healing orchestration must survive every
+# harness fault class with a byte-identical report. The Go scenarios
+# cover kill-mid-sweep, torn/corrupted/duplicated journal lines, flaky
+# and poison cells, and simulated disk-full; the CLI leg below then
+# kills a journaled sweep, tears its tail, flips a byte mid-journal,
+# proves -fsck flags the damage, and requires the resumed sweep to
+# render the same bytes as an unfaulted run anyway. A poisoned sweep
+# must name its quarantined cells in the report, never drop them.
+chaos-smoke:
+	$(GO) test -count=1 ./internal/harnesschaos/
+	$(GO) build -o .chaos-nmapsweep ./cmd/nmapsweep
+	./.chaos-nmapsweep -points 6 -dur 250 -parallel 1 > .chaos-ref.txt
+	rm -f .chaos.journal
+	-timeout -s KILL 1 ./.chaos-nmapsweep -points 6 -dur 250 -parallel 1 -checkpoint .chaos.journal > /dev/null 2>&1
+	touch .chaos.journal
+	printf 'j2 9999 deadbeef {"torn' >> .chaos.journal
+	dd if=/dev/zero of=.chaos.journal bs=1 seek=3 count=1 conv=notrunc status=none
+	! ./.chaos-nmapsweep -fsck -checkpoint .chaos.journal > /dev/null
+	./.chaos-nmapsweep -points 6 -dur 250 -parallel 1 -checkpoint .chaos.journal > .chaos-resume.txt 2> /dev/null
+	cmp .chaos-ref.txt .chaos-resume.txt
+	./.chaos-nmapsweep -points 2 -dur 50 -policy chaos-bogus -quarantine 2> /dev/null | grep -q QUARANTINED
+	rm -f .chaos-nmapsweep .chaos-ref.txt .chaos-resume.txt .chaos.journal
+
 # Capture CPU and heap (allocs) profiles from the standard fig12-quick
 # run: `go tool pprof cpu.prof` / `go tool pprof mem.prof`.
 profile:
@@ -118,6 +141,18 @@ pgo-bench:
 
 vet:
 	$(GO) vet ./...
+
+# Known-vulnerability scan over the module graph and reachable call
+# paths. The tool is not vendored; when absent the step reports how to
+# install it (pin v1.1.4 for reproducible CI) and succeeds, so air-gapped
+# builds still pass. CI hosts with the binary on PATH get the real scan.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... ; \
+	else \
+		echo "govulncheck: not on PATH, skipping scan" ; \
+		echo "govulncheck: to enable: go install golang.org/x/vuln/cmd/govulncheck@v1.1.4" ; \
+	fi
 
 build:
 	$(GO) build $(PGOFLAG) ./...

@@ -433,6 +433,30 @@ func orElse(s, fallback string) string {
 	return s
 }
 
+// benchFlags holds the numeric knobs validated before any sampling.
+type benchFlags struct {
+	parallel, bestOf     int
+	benchTime, microTime float64
+}
+
+// validateFlags rejects nonsensical flag values with errors naming the
+// flag. Table-tested in main_test.go.
+func validateFlags(f benchFlags) error {
+	if f.parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (0 = one worker per CPU), got %d", f.parallel)
+	}
+	if f.bestOf <= 0 {
+		return fmt.Errorf("-best-of must be positive, got %d", f.bestOf)
+	}
+	if f.benchTime <= 0 {
+		return fmt.Errorf("-bench-time must be a positive simulated-second count, got %g", f.benchTime)
+	}
+	if f.microTime <= 0 {
+		return fmt.Errorf("-micro-time must be a positive second count, got %g", f.microTime)
+	}
+	return nil
+}
+
 func main() {
 	testing.Init() // register test.* flags so test.benchtime is settable
 	out := flag.String("o", "BENCH_sim.json", "output file")
@@ -451,12 +475,14 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to FILE")
 	memprofile := flag.String("memprofile", "", "write a heap (allocs) profile to FILE")
 	flag.Parse()
-	if *bestOfN < 1 {
-		*bestOfN = 1
+	if err := validateFlags(benchFlags{
+		parallel: *parallel, bestOf: *bestOfN,
+		benchTime: *benchTime, microTime: *microTime,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "nmapbench: %v\n", err)
+		os.Exit(2)
 	}
-	if *microTime > 0 {
-		flag.Set("test.benchtime", fmt.Sprintf("%gs", *microTime))
-	}
+	flag.Set("test.benchtime", fmt.Sprintf("%gs", *microTime))
 	span := sim.Duration(*benchTime * float64(sim.Second))
 	if span < sim.Millisecond {
 		span = sim.Millisecond

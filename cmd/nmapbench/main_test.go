@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateFlags pins the CLI error paths for bad numeric flags: each
+// rejection must name the offending flag. -best-of in particular used to
+// be silently clamped to 1; it is now rejected so a typo'd invocation
+// cannot quietly record a single-sample baseline.
+func TestValidateFlags(t *testing.T) {
+	ok := benchFlags{parallel: 0, bestOf: 5, benchTime: 2, microTime: 2}
+	cases := []struct {
+		name    string
+		mutate  func(*benchFlags)
+		wantErr string // empty = accept
+	}{
+		{"defaults accepted", func(*benchFlags) {}, ""},
+		{"serial best-of-1 accepted", func(f *benchFlags) { f.bestOf = 1; f.parallel = 1 }, ""},
+		{"negative parallel", func(f *benchFlags) { f.parallel = -1 }, "-parallel"},
+		{"zero best-of", func(f *benchFlags) { f.bestOf = 0 }, "-best-of"},
+		{"negative best-of", func(f *benchFlags) { f.bestOf = -5 }, "-best-of"},
+		{"zero bench-time", func(f *benchFlags) { f.benchTime = 0 }, "-bench-time"},
+		{"negative bench-time", func(f *benchFlags) { f.benchTime = -2 }, "-bench-time"},
+		{"zero micro-time", func(f *benchFlags) { f.microTime = 0 }, "-micro-time"},
+		{"negative micro-time", func(f *benchFlags) { f.microTime = -0.5 }, "-micro-time"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := ok
+			tc.mutate(&f)
+			err := validateFlags(f)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("want accept, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want rejection naming %s, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name %s", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestValidateFlags pins the CLI error paths for bad numeric flags: each
+// rejection must name the offending flag.
+func TestValidateFlags(t *testing.T) {
+	ok := reportFlags{seeds: 3, durMS: 500, parallel: 0,
+		cellRetries: 0, cellBackoff: time.Second, cellDeadline: 0}
+	cases := []struct {
+		name    string
+		mutate  func(*reportFlags)
+		wantErr string // empty = accept
+	}{
+		{"defaults accepted", func(*reportFlags) {}, ""},
+		{"retry knobs accepted", func(f *reportFlags) {
+			f.cellRetries = 2
+			f.cellBackoff = 50 * time.Millisecond
+			f.cellDeadline = 30 * time.Second
+		}, ""},
+		{"zero seeds", func(f *reportFlags) { f.seeds = 0 }, "-seeds"},
+		{"negative seeds", func(f *reportFlags) { f.seeds = -2 }, "-seeds"},
+		{"zero duration", func(f *reportFlags) { f.durMS = 0 }, "-dur"},
+		{"negative parallel", func(f *reportFlags) { f.parallel = -3 }, "-parallel"},
+		{"negative retries", func(f *reportFlags) { f.cellRetries = -1 }, "-cell-retries"},
+		{"negative backoff", func(f *reportFlags) { f.cellBackoff = -time.Millisecond }, "-cell-retry-backoff"},
+		{"negative deadline", func(f *reportFlags) { f.cellDeadline = -time.Second }, "-cell-deadline"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := ok
+			tc.mutate(&f)
+			err := validateFlags(f)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("want accept, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want rejection naming %s, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name %s", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -7,13 +7,19 @@
 // Usage:
 //
 //	nmapsweep [-app memcached|nginx] [-policy NAME] [-idle NAME]
-//	          [-points N] [-dur MS] [-stream] [-checkpoint FILE]
+//	          [-points N] [-dur MS] [-stream] [-checkpoint FILE] [-fsck]
+//	          [-cell-retries N] [-cell-retry-backoff DUR] [-cell-deadline DUR]
+//	          [-quarantine] [-mem-budget-mb N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"nmapsim/internal/experiments"
 	"nmapsim/internal/faults"
@@ -22,6 +28,44 @@ import (
 	"nmapsim/internal/sim"
 	"nmapsim/internal/workload"
 )
+
+// sweepFlags is every numeric knob the CLI validates before running;
+// the validation is a standalone function so the error paths are
+// table-testable.
+type sweepFlags struct {
+	points, durMS, parallel int
+	cellRetries             int
+	cellBackoff             time.Duration
+	cellDeadline            time.Duration
+	memBudgetMB             int
+}
+
+// validateFlags rejects nonsensical flag values with errors naming the
+// flag, before any work starts.
+func validateFlags(f sweepFlags) error {
+	if f.points <= 0 {
+		return fmt.Errorf("-points must be positive, got %d", f.points)
+	}
+	if f.durMS <= 0 {
+		return fmt.Errorf("-dur must be a positive millisecond count, got %d", f.durMS)
+	}
+	if f.parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (0 = one worker per CPU), got %d", f.parallel)
+	}
+	if f.cellRetries < 0 {
+		return fmt.Errorf("-cell-retries must be >= 0, got %d", f.cellRetries)
+	}
+	if f.cellBackoff < 0 {
+		return fmt.Errorf("-cell-retry-backoff must be >= 0, got %v", f.cellBackoff)
+	}
+	if f.cellDeadline < 0 {
+		return fmt.Errorf("-cell-deadline must be >= 0, got %v", f.cellDeadline)
+	}
+	if f.memBudgetMB < 0 {
+		return fmt.Errorf("-mem-budget-mb must be >= 0 (0 = unlimited), got %d", f.memBudgetMB)
+	}
+	return nil
+}
 
 func main() {
 	app := flag.String("app", "memcached", "workload profile: memcached or nginx")
@@ -41,7 +85,49 @@ func main() {
 		"record latencies into the bounded streaming histogram (fixed 64KB/cell, ~0.1% quantile error) instead of the exact sample recorder")
 	checkpoint := flag.String("checkpoint", "",
 		"journal completed sweep cells to FILE and resume from it: cells already journaled are not re-run")
+	fsck := flag.Bool("fsck", false,
+		"scan the -checkpoint journal for damage (torn lines, checksum failures, duplicated records), print a report, and exit: 0 clean, 1 damaged")
+	cellRetries := flag.Int("cell-retries", 0,
+		"re-run a failing sweep cell up to N times with exponential backoff before giving up (0 = fail fast)")
+	cellBackoff := flag.Duration("cell-retry-backoff", time.Second,
+		"delay before a failed cell's first retry; doubles per retry, capped at 10x")
+	cellDeadline := flag.Duration("cell-deadline", 0,
+		"wall-clock budget across all attempts of one cell, backoff included (0 = none)")
+	quarantine := flag.Bool("quarantine", false,
+		"quarantine cells that exhaust their retries — report them explicitly and keep sweeping — instead of failing the whole sweep")
+	memBudgetMB := flag.Int("mem-budget-mb", 0,
+		"soft memory watermark in MB: cells whose projected exact-histogram footprint (x workers) would cross it record into the bounded streaming histogram instead, explicitly marked (0 = unlimited)")
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "nmapsweep: %v\n", err)
+		os.Exit(1)
+	}
+	if err := validateFlags(sweepFlags{
+		points: *points, durMS: *durMS, parallel: *parallel,
+		cellRetries: *cellRetries, cellBackoff: *cellBackoff,
+		cellDeadline: *cellDeadline, memBudgetMB: *memBudgetMB,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "nmapsweep: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *fsck {
+		if *checkpoint == "" {
+			fmt.Fprintln(os.Stderr, "nmapsweep: -fsck requires -checkpoint FILE")
+			os.Exit(2)
+		}
+		rep, err := experiments.FsckJournal(*checkpoint)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep)
+		if !rep.Clean() {
+			os.Exit(1)
+		}
+		return
+	}
+
 	experiments.SetParallelism(*parallel)
 	fcfg, err := faults.ParseSpec(*faultSpec)
 	if err != nil {
@@ -51,11 +137,24 @@ func main() {
 	experiments.SetInjection(fcfg, workload.RetryConfig{})
 	experiments.SetAudit(*auditOn)
 	experiments.SetStreaming(*streamOn)
+	if err := experiments.SetCellRetry(experiments.HarnessRetry{
+		MaxRetries: *cellRetries,
+		Backoff:    *cellBackoff,
+		Deadline:   *cellDeadline,
+		Quarantine: *quarantine,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "nmapsweep: %v\n", err)
+		os.Exit(2)
+	}
+	experiments.SetMemoryBudget(int64(*memBudgetMB) << 20)
 	if *checkpoint != "" {
 		j, err := experiments.OpenJournal(*checkpoint)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "nmapsweep: %v\n", err)
-			os.Exit(2)
+			fail(err)
+		}
+		if rep := j.LoadReport(); !rep.Clean() {
+			fmt.Fprintf(os.Stderr, "nmapsweep: journal damage skipped on load (run -fsck for detail): torn=%d bad-crc=%d dup-seq=%d\n",
+				rep.Torn+boolInt(rep.TornTail), rep.BadCRC, rep.DupSeq)
 		}
 		if n := j.Len(); n > 0 {
 			fmt.Fprintf(os.Stderr, "nmapsweep: resuming, %d cell(s) already journaled in %s\n", n, *checkpoint)
@@ -78,8 +177,7 @@ func main() {
 	if *inflection {
 		inf, err := experiments.FindInflection(prof, prof.HighRPS/8, prof.HighRPS*1.2, *points, 5, experiments.Full)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "nmapsweep: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("latency-load curve (%s, performance governor):\n", prof.Name)
 		for _, pt := range inf.Curve {
@@ -89,6 +187,13 @@ func main() {
 			inf.RPS/1000, inf.P99.Millis(), inf.P99.Millis())
 		return
 	}
+
+	// An interrupt (Ctrl-C, SIGTERM) cancels the sweep cleanly: in-flight
+	// cells abort at their next simulated millisecond, completed cells
+	// are already fsynced in the journal, and no half-written record is
+	// left behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	t := report.NewTable(
 		fmt.Sprintf("latency-load sweep: %s, policy=%s idle=%s (SLO %.1fms)",
@@ -109,13 +214,26 @@ func main() {
 			},
 		}
 	}
-	results, err := experiments.RunSpecs(specs)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "nmapsweep: %v\n", err)
-		os.Exit(1)
+	cells, err := experiments.RunSpecsCtx(ctx, specs)
+	if err != nil && !quarantineOnly(cells, err) {
+		fail(err)
 	}
-	for i, res := range results {
+	quarantined, downgraded := 0, 0
+	for i, c := range cells {
 		rps := specs[i].Cfg.RPS
+		if c.Quarantined {
+			// Quarantined cells are part of the report, never silently
+			// dropped: the row names the cell and why it kept failing.
+			quarantined++
+			t.Row(fmt.Sprintf("%.0fK", rps/1000),
+				"QUARANTINED", fmt.Sprintf("after %d attempt(s)", c.Attempts),
+				"-", "-", truncateErr(c.Err))
+			continue
+		}
+		if c.Downgraded {
+			downgraded++
+		}
+		res := c.Result
 		t.Row(fmt.Sprintf("%.0fK", rps/1000),
 			fmt.Sprintf("%.3fms", res.Summary.P50.Millis()),
 			fmt.Sprintf("%.3fms", res.Summary.P99.Millis()),
@@ -124,4 +242,31 @@ func main() {
 			fmt.Sprintf("%.1f", res.AvgPowerW))
 	}
 	fmt.Println(t.String())
+	if quarantined > 0 {
+		fmt.Fprintf(os.Stderr, "nmapsweep: %d cell(s) quarantined (rows marked QUARANTINED above); a -checkpoint resume will retry them\n", quarantined)
+	}
+	if downgraded > 0 {
+		fmt.Fprintf(os.Stderr, "nmapsweep: %d cell(s) downgraded to the streaming histogram by -mem-budget-mb (quantiles within ~0.1%%)\n", downgraded)
+	}
+}
+
+// quarantineOnly reports whether the sweep "error" is only the presence
+// of quarantined cells (RunSpecsCtx returns nil in that case, so any
+// non-nil error is real) — kept as a seam for clarity at the call site.
+func quarantineOnly([]experiments.CellResult, error) bool { return false }
+
+// truncateErr renders a cell error into one table cell.
+func truncateErr(err error) string {
+	s := err.Error()
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

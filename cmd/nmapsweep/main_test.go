@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestValidateFlags pins the CLI error paths for bad numeric flags: each
+// rejection must name the offending flag so the operator can fix the
+// invocation without reading source.
+func TestValidateFlags(t *testing.T) {
+	ok := sweepFlags{points: 8, durMS: 500, parallel: 0,
+		cellRetries: 0, cellBackoff: time.Second, cellDeadline: 0, memBudgetMB: 0}
+	cases := []struct {
+		name    string
+		mutate  func(*sweepFlags)
+		wantErr string // empty = accept
+	}{
+		{"defaults accepted", func(*sweepFlags) {}, ""},
+		{"retry knobs accepted", func(f *sweepFlags) {
+			f.cellRetries = 3
+			f.cellBackoff = 10 * time.Millisecond
+			f.cellDeadline = time.Minute
+			f.memBudgetMB = 64
+		}, ""},
+		{"zero points", func(f *sweepFlags) { f.points = 0 }, "-points"},
+		{"negative points", func(f *sweepFlags) { f.points = -4 }, "-points"},
+		{"zero duration", func(f *sweepFlags) { f.durMS = 0 }, "-dur"},
+		{"negative parallel", func(f *sweepFlags) { f.parallel = -1 }, "-parallel"},
+		{"negative retries", func(f *sweepFlags) { f.cellRetries = -1 }, "-cell-retries"},
+		{"negative backoff", func(f *sweepFlags) { f.cellBackoff = -time.Second }, "-cell-retry-backoff"},
+		{"negative deadline", func(f *sweepFlags) { f.cellDeadline = -time.Minute }, "-cell-deadline"},
+		{"negative mem budget", func(f *sweepFlags) { f.memBudgetMB = -1 }, "-mem-budget-mb"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := ok
+			tc.mutate(&f)
+			err := validateFlags(f)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("want accept, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want rejection naming %s, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name %s", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestTruncateErr keeps quarantine table cells one line and bounded.
+func TestTruncateErr(t *testing.T) {
+	short := errString("boom")
+	if got := truncateErr(short); got != "boom" {
+		t.Fatalf("short error mangled: %q", got)
+	}
+	long := errString(strings.Repeat("x", 200))
+	if got := truncateErr(long); len(got) != 60 || !strings.HasSuffix(got, "...") {
+		t.Fatalf("long error not truncated to 60 with ellipsis: %q (len %d)", got, len(got))
+	}
+}
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -5,8 +5,13 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 
 	"nmapsim/internal/server"
@@ -16,13 +21,39 @@ import (
 // hash, so a 10k-cell sweep killed mid-run resumes where it stopped
 // instead of recomputing from scratch.
 //
-// Format: one JSON object per line ("spec" = SpecHash, "result" = the
-// full server.Result including the raw latency histogram), appended and
-// fsynced as each cell completes. Append-only JSONL makes the journal
-// kill-safe: a process dying mid-write leaves at most one torn final
-// line, which the loader discards. Because every cell is a deterministic
-// seeded run, a journaled result is byte-identical to recomputing the
-// cell, so a resumed sweep's output matches an uninterrupted one exactly.
+// Journal format v2: one record per line,
+//
+//	j2 <seq> <crc32c-hex> <payload>\n
+//
+// where <payload> is the v1 JSON object ("spec" = SpecHash, "result" =
+// the full server.Result), <seq> is a monotonically increasing record
+// number, and <crc32c-hex> is the CRC-32C (Castagnoli) of the payload
+// bytes. The framing makes every class of journal damage detectable and
+// recoverable, not just the torn final line a kill leaves:
+//
+//   - torn write (kill or ENOSPC mid-line): the payload is truncated, the
+//     CRC cannot match, the line is dropped and the cell re-runs;
+//   - bit-rot (any flipped byte in seq, CRC or payload): CRC mismatch,
+//     line dropped, cell re-runs;
+//   - duplicated line (a replayed or double-appended record): the repeated
+//     sequence number identifies it and the duplicate is dropped;
+//   - a dropped line shows up as a sequence-number gap in -fsck.
+//
+// Because every cell is a deterministic seeded run, dropping a damaged
+// record is always safe: the cell recomputes byte-identically. v1 lines
+// (bare JSON objects, no framing) are still loaded, so pre-v2 journals
+// resume unchanged. Appends are fsynced per record; a failed or short
+// write truncates the file back to the last good record so the tail
+// never holds a half-written line, and the journal then turns read-only
+// (ErrJournalWrite) so the sweep can finish and exit cleanly instead of
+// fighting a dead disk.
+
+// ErrJournalWrite marks journal persistence failures — disk full, I/O
+// error, or a short write. The in-memory sweep is unaffected (results
+// stay valid); only checkpoint durability is lost from that point on.
+var ErrJournalWrite = errors.New("experiments: journal write error")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // SpecHash returns a stable identity for a spec: the policy/idle pair,
 // the full server configuration (processor and workload identified by
@@ -51,37 +82,261 @@ type journalEntry struct {
 	Result json.RawMessage `json:"result"`
 }
 
+// JournalFile is the sink a Journal appends to. *os.File satisfies it;
+// the harness chaos injector wraps one to simulate disk-full and I/O
+// errors without a real full disk.
+type JournalFile interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
 // Journal is an append-only record of completed sweep cells. Lookup and
 // Record are safe for concurrent use by the worker pool.
 type Journal struct {
 	mu   sync.Mutex
-	f    *os.File
+	f    JournalFile
 	done map[string]json.RawMessage
+	// next is the sequence number the next record will carry.
+	next uint64
+	// off is the byte offset of the end of the last durably written
+	// record — the truncation point when a write fails partway.
+	off int64
+	// werr is the sticky write error: once a write or sync fails the
+	// journal is read-only and every later Record returns it.
+	werr error
+	// load is the damage report from open time.
+	load FsckReport
+}
+
+// FsckReport summarises a journal integrity scan: what loaded, what was
+// damaged, and how. Damaged lines are never fatal — the loader drops
+// them and the affected cells re-run deterministically — but -fsck
+// surfaces them so an operator can tell bit-rot from a clean resume.
+type FsckReport struct {
+	// Lines is the total number of (non-empty) lines scanned.
+	Lines int
+	// V1 and V2 count well-formed records by format version.
+	V1, V2 int
+	// Cells is the number of distinct cells the journal can serve.
+	Cells int
+	// Torn counts unparseable lines: truncated frames, malformed JSON,
+	// or garbage — the residue of a kill or ENOSPC mid-write.
+	Torn int
+	// BadCRC counts v2 lines whose payload failed its checksum (bit-rot
+	// or a torn payload that still parsed as a frame).
+	BadCRC int
+	// DupSeq counts v2 lines repeating an already-seen sequence number.
+	DupSeq int
+	// SeqGaps counts missing sequence numbers between the lowest and
+	// highest seen — records that existed once but are gone.
+	SeqGaps int
+	// TornTail reports whether the file ended mid-line (no final
+	// newline); OpenJournal truncates such a tail so appends never merge
+	// into it.
+	TornTail bool
+}
+
+// Clean reports whether the scan found no damage. Sequence gaps alone do
+// not fail Clean when every gap is explained by a damaged line already
+// counted (a torn line loses its sequence number too).
+func (r FsckReport) Clean() bool {
+	damaged := r.Torn + r.BadCRC + r.DupSeq
+	if r.TornTail {
+		return false
+	}
+	return damaged == 0 && r.SeqGaps == 0
+}
+
+// String renders the report in the one-screen form nmapsweep -fsck
+// prints.
+func (r FsckReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "journal: %d line(s), %d cell(s) loadable (%d v2, %d v1)\n",
+		r.Lines, r.Cells, r.V2, r.V1)
+	fmt.Fprintf(&b, "damage:  torn=%d bad-crc=%d dup-seq=%d seq-gaps=%d torn-tail=%v\n",
+		r.Torn, r.BadCRC, r.DupSeq, r.SeqGaps, r.TornTail)
+	if r.Clean() {
+		b.WriteString("verdict: clean")
+	} else {
+		b.WriteString("verdict: damaged (damaged records are skipped on resume; the affected cells re-run deterministically)")
+	}
+	return b.String()
+}
+
+// scanJournal reads every line of a journal, verifying v2 frames and
+// accepting v1 bare-JSON lines, and returns the loadable entries (later
+// duplicates of a spec win, matching append order), the damage report,
+// the highest v2 sequence number, and the byte offset of the end of the
+// last complete line (the safe append/truncation point).
+func scanJournal(r io.Reader) (entries map[string]json.RawMessage, rep FsckReport, maxSeq uint64, tail int64, err error) {
+	entries = map[string]json.RawMessage{}
+	seen := map[uint64]bool{}
+	var minSeq uint64
+	br := bufio.NewReaderSize(r, 1<<20)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		complete := rerr == nil
+		if len(line) > 0 {
+			if complete {
+				tail += int64(len(line))
+				line = line[:len(line)-1]
+			} else {
+				rep.TornTail = true
+			}
+			if len(line) > 0 {
+				rep.Lines++
+				switch {
+				case !complete:
+					rep.Torn++
+				case line[0] == '{':
+					// v1: bare JSON object, no framing. No CRC to check —
+					// malformed JSON is the only detectable damage.
+					var ent journalEntry
+					if json.Unmarshal(line, &ent) != nil || ent.Spec == "" {
+						rep.Torn++
+						break
+					}
+					rep.V1++
+					entries[ent.Spec] = append(json.RawMessage(nil), ent.Result...)
+				default:
+					seq, payload, ok := parseV2Line(line)
+					if !ok {
+						rep.Torn++
+						break
+					}
+					if payload == nil {
+						rep.BadCRC++
+						break
+					}
+					if seen[seq] {
+						rep.DupSeq++
+						break
+					}
+					var ent journalEntry
+					if json.Unmarshal(payload, &ent) != nil || ent.Spec == "" {
+						rep.Torn++
+						break
+					}
+					if len(seen) == 0 || seq < minSeq {
+						minSeq = seq
+					}
+					if seq > maxSeq {
+						maxSeq = seq
+					}
+					seen[seq] = true
+					rep.V2++
+					entries[ent.Spec] = append(json.RawMessage(nil), ent.Result...)
+				}
+			}
+		}
+		if rerr != nil {
+			if rerr != io.EOF {
+				return nil, rep, 0, 0, rerr
+			}
+			break
+		}
+	}
+	if len(seen) > 0 {
+		rep.SeqGaps = int(maxSeq-minSeq+1) - len(seen)
+	}
+	rep.Cells = len(entries)
+	return entries, rep, maxSeq, tail, nil
+}
+
+// parseV2Line splits a "j2 <seq> <crc> <payload>" frame. ok is false for
+// a malformed frame; a well-formed frame whose CRC does not match the
+// payload returns ok with a nil payload.
+func parseV2Line(line []byte) (seq uint64, payload []byte, ok bool) {
+	s := string(line)
+	rest, found := strings.CutPrefix(s, "j2 ")
+	if !found {
+		return 0, nil, false
+	}
+	seqStr, rest, found := strings.Cut(rest, " ")
+	if !found {
+		return 0, nil, false
+	}
+	crcStr, payloadStr, found := strings.Cut(rest, " ")
+	if !found {
+		return 0, nil, false
+	}
+	seq, err := strconv.ParseUint(seqStr, 10, 64)
+	if err != nil {
+		return 0, nil, false
+	}
+	want, err := strconv.ParseUint(crcStr, 16, 32)
+	if err != nil {
+		return 0, nil, false
+	}
+	p := []byte(payloadStr)
+	if crc32.Checksum(p, crcTable) != uint32(want) {
+		return seq, nil, true
+	}
+	return seq, p, true
 }
 
 // OpenJournal opens (creating if absent) the journal at path and loads
-// every complete entry already present. Torn or malformed lines — the
-// residue of a kill mid-write — are skipped, not fatal.
+// every intact entry already present. Damaged lines — torn writes,
+// failed checksums, duplicated records — are skipped, not fatal: the
+// affected cells simply re-run. A torn tail (kill mid-write) is
+// truncated away so the next append starts on a fresh line.
 func OpenJournal(path string) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	j := &Journal{f: f, done: map[string]json.RawMessage{}}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<28)
-	for sc.Scan() {
-		var ent journalEntry
-		if json.Unmarshal(sc.Bytes(), &ent) != nil || ent.Spec == "" {
-			continue
-		}
-		j.done[ent.Spec] = append(json.RawMessage(nil), ent.Result...)
-	}
-	if err := sc.Err(); err != nil {
+	j, err := NewJournal(f, f)
+	if err != nil {
 		f.Close()
 		return nil, err
 	}
 	return j, nil
+}
+
+// NewJournal builds a journal that appends to f after loading existing
+// entries from contents (pass nil for a fresh journal). When the loaded
+// bytes end mid-line, the file is truncated back to the last complete
+// line. The chaos harness uses this to interpose failing writers; the
+// CLIs go through OpenJournal.
+func NewJournal(f JournalFile, contents io.Reader) (*Journal, error) {
+	j := &Journal{f: f, done: map[string]json.RawMessage{}}
+	if contents != nil {
+		entries, rep, maxSeq, tail, err := scanJournal(contents)
+		if err != nil {
+			return nil, err
+		}
+		j.done, j.load, j.next, j.off = entries, rep, maxSeq+1, tail
+		if rep.TornTail {
+			if err := f.Truncate(tail); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if j.next == 0 {
+		j.next = 1
+	}
+	return j, nil
+}
+
+// FsckJournal scans the journal at path without modifying it and reports
+// its integrity. Use `nmapsweep -fsck -checkpoint FILE`.
+func FsckJournal(path string) (FsckReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return FsckReport{}, err
+	}
+	defer f.Close()
+	_, rep, _, _, err := scanJournal(f)
+	return rep, err
+}
+
+// LoadReport returns the damage report from the scan OpenJournal ran.
+func (j *Journal) LoadReport() FsckReport {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.load
 }
 
 // Len reports how many completed cells the journal holds.
@@ -107,27 +362,55 @@ func (j *Journal) Lookup(hash string) (server.Result, bool) {
 }
 
 // Record appends one completed cell and syncs it to disk before
-// returning, so a later kill cannot lose it.
+// returning, so a later kill cannot lose it. On a write or sync failure
+// the file is truncated back to the last good record (the tail never
+// holds a half-written line), the journal turns read-only, and this and
+// every later Record return an error wrapping ErrJournalWrite — the
+// sweep itself continues; only durability is lost.
 func (j *Journal) Record(hash string, res server.Result) error {
 	raw, err := json.Marshal(res)
 	if err != nil {
 		return err
 	}
-	line, err := json.Marshal(journalEntry{Spec: hash, Result: raw})
+	payload, err := json.Marshal(journalEntry{Spec: hash, Result: raw})
 	if err != nil {
 		return err
 	}
-	line = append(line, '\n')
+	crc := crc32.Checksum(payload, crcTable)
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if _, err := j.f.Write(line); err != nil {
-		return err
+	if j.werr != nil {
+		return j.werr
 	}
-	if err := j.f.Sync(); err != nil {
-		return err
+	// The sequence number is assigned under the lock so concurrent
+	// workers never interleave frames with reused numbers.
+	line := fmt.Appendf(nil, "j2 %d %08x %s\n", j.next, crc, payload)
+	n, err := j.f.Write(line)
+	if err == nil && n < len(line) {
+		err = io.ErrShortWrite
 	}
+	if err == nil {
+		err = j.f.Sync()
+	}
+	if err != nil {
+		// Best-effort removal of the partial line; if even the truncate
+		// fails the CRC framing still guards the next reader.
+		j.f.Truncate(j.off)
+		j.werr = fmt.Errorf("%w: %v", ErrJournalWrite, err)
+		return j.werr
+	}
+	j.off += int64(len(line))
+	j.next++
 	j.done[hash] = raw
 	return nil
+}
+
+// WriteErr returns the sticky write error that turned the journal
+// read-only, or nil while it is still persisting records.
+func (j *Journal) WriteErr() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.werr
 }
 
 // Close closes the journal file.

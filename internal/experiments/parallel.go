@@ -118,14 +118,71 @@ func RunTimeout() time.Duration { return time.Duration(runTimeout.Load()) }
 // touches no model state, so an unguarded cell and a guarded one
 // produce byte-identical physics.
 func runCell(ctx context.Context, spec Spec) (server.Result, error) {
+	res, err, _ := runCellOnce(ctx, spec, 1)
+	return res, err
+}
+
+// runCellOnce runs one attempt of a cell. permanent reports an error
+// retrying cannot fix: an assembly/validation failure is deterministic,
+// so re-running the identical spec would only burn the retry budget.
+func runCellOnce(ctx context.Context, spec Spec, attempt int) (res server.Result, err error, permanent bool) {
+	if f := CellFault(); f != nil {
+		if ferr := f(spec, attempt); ferr != nil {
+			return server.Result{}, fmt.Errorf("experiments: injected harness fault on attempt %d: %w", attempt, ferr), false
+		}
+	}
 	s, err := Build(spec)
 	if err != nil {
-		return server.Result{}, err
+		return server.Result{}, err, true
 	}
 	guardCell(ctx, s)
-	res, err := s.Run()
+	res, err = s.Run()
 	recordAudit(res.Audit)
-	return res, err
+	return res, err, false
+}
+
+// runCellAttempts drives one cell through the installed HarnessRetry
+// policy: failed attempts are re-run with exponential backoff until the
+// attempt budget, the per-cell deadline, or the sweep context gives
+// out. It returns the last attempt's (possibly partial) result and how
+// many attempts ran. With the zero policy this is exactly one attempt —
+// the seed behaviour.
+func runCellAttempts(ctx context.Context, spec Spec) (server.Result, int, error) {
+	pol := CellRetry()
+	start := time.Now()
+	for attempt := 1; ; attempt++ {
+		res, err, permanent := runCellOnce(ctx, spec, attempt)
+		if err == nil || permanent {
+			return res, attempt, err
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return res, attempt, err
+		}
+		if attempt > pol.MaxRetries {
+			if pol.MaxRetries > 0 {
+				err = fmt.Errorf("experiments: cell failed after %d attempt(s): %w", attempt, err)
+			}
+			return res, attempt, err
+		}
+		delay := pol.Delay(attempt)
+		if pol.Deadline > 0 && time.Since(start)+delay > pol.Deadline {
+			return res, attempt, fmt.Errorf("experiments: cell deadline %v exhausted after %d attempt(s): %w",
+				pol.Deadline, attempt, err)
+		}
+		if delay > 0 {
+			if ctx != nil && ctx.Done() != nil {
+				t := time.NewTimer(delay)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return res, attempt, err
+				case <-t.C:
+				}
+			} else {
+				time.Sleep(delay)
+			}
+		}
+	}
 }
 
 // guardCell attaches the harness guard ticker to a built server (see
@@ -160,15 +217,33 @@ type CellResult struct {
 	Err error
 	// Done reports whether the cell ran to completion.
 	Done bool
+	// Attempts counts how many times the cell ran under the HarnessRetry
+	// policy (1 for a first-try success, 0 for a journal-served cell).
+	Attempts int
+	// Quarantined marks a cell that exhausted its retry budget under a
+	// Quarantine policy: the sweep carried on without it, and Err holds
+	// why it kept failing. Quarantined cells are reported, never
+	// silently skipped, and never journaled — a resume retries them.
+	Quarantined bool
+	// Downgraded marks a cell the memory watermark switched from the
+	// exact sample recorder to the bounded streaming histogram before it
+	// ran (see SetMemoryBudget); Result.Hist carries the streaming
+	// marker through the journal.
+	Downgraded bool
 }
 
-// RunSpecsCtx runs every spec on the worker pool with checkpointing:
-// every cell's outcome is recorded in input order even when some fail,
-// so a failed or canceled sweep keeps the cells that did finish. Once
-// ctx is canceled no new cell starts (in-flight cells abort at their
-// next simulated millisecond). The returned error is the first cell
-// error in input order, or ctx.Err() if the sweep was cut short — the
-// partial results are returned either way.
+// RunSpecsCtx runs every spec on the worker pool with checkpointing and
+// self-healing: every cell's outcome is recorded in input order even
+// when some fail, so a failed or canceled sweep keeps the cells that
+// did finish. Failed cells are retried under the installed HarnessRetry
+// policy, and with Quarantine set an exhausted cell is quarantined
+// (reported in its CellResult) instead of sinking the sweep. Once ctx
+// is canceled no new cell starts (in-flight cells abort at their next
+// simulated millisecond). The returned error is the first
+// non-quarantined cell error in input order, ctx.Err() if the sweep was
+// cut short, or the journal's write error (wrapping ErrJournalWrite) if
+// results computed fine but stopped persisting — the partial results
+// are returned either way.
 func RunSpecsCtx(ctx context.Context, specs []Spec) ([]CellResult, error) {
 	cells := make([]CellResult, len(specs))
 	forEach(len(specs), func(i int) {
@@ -179,7 +254,10 @@ func RunSpecsCtx(ctx context.Context, specs []Spec) ([]CellResult, error) {
 		// With a checkpoint journal installed, completed cells are served
 		// from the journal (each cell is a deterministic seeded run, so
 		// the journaled result is byte-identical to recomputing it) and
-		// fresh completions are journaled for the next resume.
+		// fresh completions are journaled for the next resume. The key is
+		// always the *requested* spec: a budget-downgraded cell journals
+		// under the hash of what was asked for, and its stored histogram
+		// self-describes the downgrade.
 		j := ActiveJournal()
 		var hash string
 		if j != nil {
@@ -190,20 +268,39 @@ func RunSpecsCtx(ctx context.Context, specs []Spec) ([]CellResult, error) {
 				return
 			}
 		}
-		res, err := runCell(ctx, specs[i])
-		cells[i] = CellResult{Result: res, Err: err, Done: err == nil}
-		if j != nil && err == nil {
-			if jerr := j.Record(hash, res); jerr != nil {
-				cells[i].Err = fmt.Errorf("experiments: checkpoint write failed: %w", jerr)
+		spec := specs[i]
+		downgraded := downgradeForBudget(&spec)
+		res, attempts, err := runCellAttempts(ctx, spec)
+		cells[i] = CellResult{
+			Result: res, Err: err, Done: err == nil,
+			Attempts: attempts, Downgraded: downgraded,
+		}
+		if err != nil {
+			if CellRetry().Quarantine && (ctx == nil || ctx.Err() == nil) {
+				cells[i].Quarantined = true
 			}
+			return
+		}
+		if j != nil {
+			// A failed checkpoint write is not a cell failure: the result
+			// in hand is valid and returned. The journal turns read-only
+			// on its first write error and the sweep surfaces it once at
+			// the end, so the run checkpoints what it can and exits
+			// cleanly instead of failing every remaining cell.
+			j.Record(hash, res)
 		}
 	})
 	if ctx != nil && ctx.Err() != nil {
 		return cells, ctx.Err()
 	}
 	for _, c := range cells {
-		if c.Err != nil {
+		if c.Err != nil && !c.Quarantined {
 			return cells, c.Err
+		}
+	}
+	if j := ActiveJournal(); j != nil {
+		if werr := j.WriteErr(); werr != nil {
+			return cells, werr
 		}
 	}
 	return cells, nil

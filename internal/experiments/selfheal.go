@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nmapsim/internal/server"
+)
+
+// Self-healing orchestration: the knobs that let an hours-long sweep
+// survive its own harness. A cell that fails transiently is retried with
+// exponential backoff under a per-cell deadline (the workload-level
+// RetryConfig semantics, one layer up); a cell that keeps failing is
+// quarantined — reported in its CellResult, never silently skipped — so
+// one pathological config cannot sink the other 9,999; and a soft
+// memory watermark downgrades new cells from the exact sample recorder
+// to the bounded streaming histogram instead of letting the sweep die
+// under memory pressure. All of it is opt-in: with no policy installed
+// the orchestration path is byte-identical to the pre-healing harness.
+
+// HarnessRetry is the per-cell retry policy, mirroring
+// workload.RetryConfig at the orchestration layer: a base backoff
+// delay doubled after every failed attempt (capped at 10× the base), a
+// bounded retry budget, and a wall-clock deadline across all attempts
+// of one cell. The zero value disables retrying entirely — a failing
+// cell fails the sweep on its first error, the seed behaviour.
+type HarnessRetry struct {
+	// MaxRetries bounds re-runs per cell (not counting the first
+	// attempt). Zero disables retrying.
+	MaxRetries int
+	// Backoff is the delay before the first retry; it doubles after
+	// each failed attempt and is capped at 10× its base value. Zero
+	// retries immediately.
+	Backoff time.Duration
+	// Deadline bounds the wall-clock time spent on all attempts of one
+	// cell, delays included. Zero means no deadline.
+	Deadline time.Duration
+	// Quarantine keeps the sweep alive when a cell exhausts its
+	// attempts: the cell is marked Quarantined in its CellResult (and
+	// rendered explicitly by the CLIs) instead of failing the whole
+	// sweep. Quarantined cells are never journaled, so a resume retries
+	// them.
+	Quarantine bool
+}
+
+// Enabled reports whether any self-healing behaviour is active.
+func (r HarnessRetry) Enabled() bool { return r.MaxRetries > 0 || r.Quarantine }
+
+// Validate rejects nonsensical retry parameters with errors naming the
+// offending knob.
+func (r HarnessRetry) Validate() error {
+	if r.MaxRetries < 0 {
+		return fmt.Errorf("experiments: negative cell retry budget %d", r.MaxRetries)
+	}
+	if r.Backoff < 0 {
+		return fmt.Errorf("experiments: negative cell retry backoff %v", r.Backoff)
+	}
+	if r.Deadline < 0 {
+		return fmt.Errorf("experiments: negative cell deadline %v", r.Deadline)
+	}
+	return nil
+}
+
+// Delay returns the backoff before retry number n (1 = first retry):
+// Backoff × 2^(n-1), capped at 10× Backoff — the same shape as
+// workload.RetryConfig.RTO.
+func (r HarnessRetry) Delay(n int) time.Duration {
+	if r.Backoff <= 0 {
+		return 0
+	}
+	d, ceil := r.Backoff, 10*r.Backoff
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= ceil {
+			return ceil
+		}
+	}
+	return d
+}
+
+var (
+	retryMu  sync.RWMutex
+	cellPol  HarnessRetry
+	cellHook func(Spec, int) error
+)
+
+// SetCellRetry installs the package-level per-cell retry policy the
+// sweeps run under. The zero policy (the default) restores the
+// fail-fast seed behaviour.
+func SetCellRetry(r HarnessRetry) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	retryMu.Lock()
+	cellPol = r
+	retryMu.Unlock()
+	return nil
+}
+
+// CellRetry returns the installed per-cell retry policy.
+func CellRetry() HarnessRetry {
+	retryMu.RLock()
+	defer retryMu.RUnlock()
+	return cellPol
+}
+
+// SetCellFault installs a harness-fault hook consulted at the start of
+// every cell attempt: a non-nil return fails that attempt before the
+// cell runs. This is the injection point the chaos harness (package
+// harnesschaos) uses to simulate flaky and poison cells
+// deterministically; nil (the default) costs nothing.
+func SetCellFault(f func(spec Spec, attempt int) error) {
+	retryMu.Lock()
+	cellHook = f
+	retryMu.Unlock()
+}
+
+// CellFault returns the installed harness-fault hook, or nil.
+func CellFault() func(Spec, int) error {
+	retryMu.RLock()
+	defer retryMu.RUnlock()
+	return cellHook
+}
+
+// memBudget is the soft memory watermark in bytes (0 = unlimited).
+var memBudget atomic.Int64
+
+// SetMemoryBudget installs a soft memory watermark for sweeps: before a
+// fresh (non-journaled) cell starts, its projected exact-histogram
+// footprint times the worker-pool size is compared against the budget,
+// and a cell that would cross it is downgraded to the bounded streaming
+// recorder (~64KB fixed) instead. The downgrade is explicit — the
+// cell's CellResult and its archived Record both carry a marker — and
+// deterministic: it depends only on the spec and the configured
+// parallelism, never on allocator state, so a resumed sweep makes the
+// same decision. bytes <= 0 removes the watermark.
+func SetMemoryBudget(bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	memBudget.Store(bytes)
+}
+
+// MemoryBudget returns the soft memory watermark (0 = none).
+func MemoryBudget() int64 { return memBudget.Load() }
+
+// downgradeForBudget applies the memory watermark to one cell about to
+// run fresh, flipping it to the streaming recorder when its projected
+// exact-mode footprint across the worker pool would cross the budget.
+// Reports whether it downgraded.
+func downgradeForBudget(spec *Spec) bool {
+	b := MemoryBudget()
+	if b <= 0 || spec.Cfg.StreamingHist || StreamingDefault() {
+		return false
+	}
+	if server.EstimatedHistBytes(spec.Cfg)*int64(Parallelism()) <= b {
+		return false
+	}
+	spec.Cfg.StreamingHist = true
+	return true
+}

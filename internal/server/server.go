@@ -507,6 +507,18 @@ func histCapacity(cfg Config) int {
 	return int(n)
 }
 
+// EstimatedHistBytes projects the exact-mode recorder's backing-array
+// footprint for one run of cfg — the dominant per-cell allocation of a
+// big sweep (a 4M-sample cell holds 32MB of raw samples). The harness
+// memory watermark compares this projection, scaled by its worker
+// count, against its soft budget to decide when to downgrade fresh
+// cells to the bounded streaming recorder. The projection depends only
+// on the configuration, never on allocator state, so the decision is
+// deterministic and a resumed sweep makes the same one.
+func EstimatedHistBytes(cfg Config) int64 {
+	return int64(histCapacity(cfg.withDefaults())) * 8
+}
+
 // appCost is the kernel's service-cost hook: the request carries its
 // own pre-sampled cycle count.
 func appCost(r *workload.Request) float64 { return r.AppCycles }

@@ -1,0 +1,37 @@
+package stats
+
+import "sync"
+
+// StreamingHistPool recycles streaming-mode histograms across sweep
+// cells. A streaming recorder is a fixed 64KB bucket array; a
+// fleet-scale sweep that builds one per cell churns the allocator for
+// no reason, since Reset restores a used recorder to its empty state
+// exactly. Get hands out an empty recorder (recycled or fresh) and Put
+// returns one for reuse; a pooled recorder must produce byte-identical
+// results to a freshly constructed one, which TestStreamingHistPool
+// pins.
+type StreamingHistPool struct {
+	p sync.Pool
+}
+
+// NewStreamingHistPool returns an empty pool.
+func NewStreamingHistPool() *StreamingHistPool {
+	return &StreamingHistPool{p: sync.Pool{New: func() any { return NewStreamingHist() }}}
+}
+
+// Get returns an empty streaming-mode histogram, reusing a recycled one
+// when available.
+func (p *StreamingHistPool) Get() *Hist {
+	return p.p.Get().(*Hist)
+}
+
+// Put recycles a streaming-mode histogram for a later Get, resetting it
+// first. nil and exact-mode histograms are ignored — an exact recorder's
+// footprint is sized per run and must not masquerade as a bounded one.
+func (p *StreamingHistPool) Put(h *Hist) {
+	if h == nil || !h.Streaming() {
+		return
+	}
+	h.Reset()
+	p.p.Put(h)
+}
