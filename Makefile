@@ -11,9 +11,9 @@ GO ?= go
 PGO = default.pgo
 PGOFLAG = $(if $(wildcard $(PGO)),-pgo=$(PGO),)
 
-.PHONY: ci vet govulncheck build test race bench bench-compare fault-smoke failover-smoke determinism-gate fuzz-smoke checkpoint-smoke chaos-smoke pgo pgo-smoke pgo-bench profile clean
+.PHONY: ci vet govulncheck build test race bench bench-compare fault-smoke failover-smoke cluster-smoke determinism-gate fuzz-smoke checkpoint-smoke chaos-smoke pgo pgo-smoke pgo-bench profile clean
 
-ci: vet govulncheck build race fault-smoke failover-smoke determinism-gate fuzz-smoke checkpoint-smoke chaos-smoke pgo-smoke bench-compare bench
+ci: vet govulncheck build race fault-smoke failover-smoke cluster-smoke determinism-gate fuzz-smoke checkpoint-smoke chaos-smoke pgo-smoke bench-compare bench
 
 # Fault-injection smoke matrix: the loss/retry/throttle/watchdog paths
 # run under the race detector, then one figure regenerates end to end
@@ -41,6 +41,24 @@ failover-smoke:
 	cmp .failover-a.txt .failover-b.txt
 	./.failover-nmapsim -quick -faults $(CRASH_SPEC) -rto 20ms -audit fig9 > /dev/null
 	rm -f .failover-nmapsim .failover-a.txt .failover-b.txt
+
+# Fleet failover gate: the node-crash choreography (router resteers,
+# health mark-down/half-open recovery, cluster conservation ledger) runs
+# under the race detector; the fleet figure then regenerates twice under
+# a scheduled node crash with the auditor on and must render identical
+# bytes; and the 1-node cluster must stay byte-identical to the plain
+# single-server run (the zero-overhead-abstraction gate).
+cluster-smoke:
+	$(GO) test -race -count=1 \
+		-run 'Cluster|NodeCrash|NodeSlow|NodeFault|Router|Health|FleetPowerCap|TotalOutage' \
+		./internal/cluster/ ./internal/faults/ ./internal/nic/ ./internal/audit/ \
+		./internal/server/ ./internal/experiments/
+	$(GO) build -o .cluster-nmapsim ./cmd/nmapsim
+	./.cluster-nmapsim -quick -audit -nodes 3 fig-cluster > .cluster-a.txt
+	./.cluster-nmapsim -quick -audit -nodes 3 fig-cluster > .cluster-b.txt
+	cmp .cluster-a.txt .cluster-b.txt
+	$(GO) test -count=1 -run TestSingleNodeClusterByteIdentical ./internal/cluster/
+	rm -f .cluster-nmapsim .cluster-a.txt .cluster-b.txt
 
 # Determinism gate: the same faulted configuration must render the same
 # bytes twice — fault schedule, retransmissions, and physics included —
@@ -89,8 +107,9 @@ chaos-smoke:
 	! ./.chaos-nmapsweep -fsck -checkpoint .chaos.journal > /dev/null
 	./.chaos-nmapsweep -points 6 -dur 250 -parallel 1 -checkpoint .chaos.journal > .chaos-resume.txt 2> /dev/null
 	cmp .chaos-ref.txt .chaos-resume.txt
-	./.chaos-nmapsweep -points 2 -dur 50 -policy chaos-bogus -quarantine 2> /dev/null | grep -q QUARANTINED
-	rm -f .chaos-nmapsweep .chaos-ref.txt .chaos-resume.txt .chaos.journal
+	sh -c './.chaos-nmapsweep -points 2 -dur 50 -policy chaos-bogus -quarantine > .chaos-q.txt 2> /dev/null; test $$? -eq 3'
+	grep -q QUARANTINED .chaos-q.txt
+	rm -f .chaos-nmapsweep .chaos-ref.txt .chaos-resume.txt .chaos.journal .chaos-q.txt
 
 # Capture CPU and heap (allocs) profiles from the standard fig12-quick
 # run: `go tool pprof cpu.prof` / `go tool pprof mem.prof`.

@@ -4,20 +4,30 @@
 //
 // Usage:
 //
-//	nmapsim [-quick] [-faults SPEC] [-rto DUR] [-retries N] [-cpuprofile FILE] [-memprofile FILE] <experiment>
+//	nmapsim [-quick] [-faults SPEC] [-rto DUR] [-retries N] [-nodes N] [-route NAME]
+//	        [-cpuprofile FILE] [-memprofile FILE] <experiment>
 //	nmapsim -list
 //
 // Experiments: fig2 fig3 fig4 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// fig14 fig15 fig16 fig-resilience table1 table2 ablation-perrequest
-// ablation-thresholds ablation-chipwide all
+// fig14 fig15 fig16 fig-resilience fig-cluster table1 table2
+// ablation-perrequest ablation-thresholds ablation-chipwide all
+//
+// fig-cluster simulates a fleet of NMAP nodes behind a health-checked
+// router (-nodes, -route). Node-level faults come from the same -faults
+// spec as everything else, e.g. -faults nodecrash=1@250ms:100ms; an
+// interrupt (Ctrl-C) mid-run renders the partial figure — every node's
+// results so far, in input order — before exiting non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"nmapsim/internal/experiments"
 	"nmapsim/internal/faults"
@@ -43,6 +53,10 @@ var auditOn = flag.Bool("audit", false,
 	"run every simulation under the invariant auditor (fails the run on any violation)")
 var auditReport = flag.Bool("audit-report", false,
 	"with -audit: print the per-rule check/violation summary after the run")
+var nodes = flag.Int("nodes", 4,
+	"fig-cluster: number of NMAP nodes in the fleet")
+var route = flag.String("route", "rr",
+	"fig-cluster: routing policy — rr, least, weighted, flow")
 
 type experiment struct {
 	name, desc string
@@ -125,6 +139,7 @@ var catalog = []experiment{
 		fmt.Println(experiments.RenderResilience(fig))
 		return nil
 	}},
+	{"fig-cluster", "fleet P99 + energy + offline-node timeline through a node crash (-nodes, -route)", runFigCluster},
 	{"ablation-perrequest", "per-request DVFS vs NMAP under re-transition latency (5.1)",
 		runAblation("Ablation: per-request DVFS pays the re-transition latency",
 			experiments.AblationPerRequest)},
@@ -170,6 +185,20 @@ func runAblation(title string, fn func(experiments.Quality) ([]experiments.Ablat
 		fmt.Println(experiments.RenderAblation(title, cells))
 		return nil
 	}
+}
+
+// runFigCluster runs the fleet experiment under an interruptible
+// context: Ctrl-C / SIGTERM aborts the simulation at its next simulated
+// millisecond, and whatever arms (and per-node results, in input order)
+// are in hand are rendered before the non-zero exit.
+func runFigCluster(q experiments.Quality) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fig, err := experiments.FigClusterCtx(ctx, q, *nodes, *route)
+	if len(fig.Arms) > 0 {
+		fmt.Println(experiments.RenderCluster(fig))
+	}
+	return err
 }
 
 func runFig34(q experiments.Quality) error {

@@ -10,6 +10,18 @@
 //	          [-points N] [-dur MS] [-stream] [-checkpoint FILE] [-fsck]
 //	          [-cell-retries N] [-cell-retry-backoff DUR] [-cell-deadline DUR]
 //	          [-quarantine] [-mem-budget-mb N]
+//
+// Exit codes:
+//
+//	0  sweep (or -fsck scan) completed cleanly
+//	1  hard failure: a cell error without -quarantine, an I/O error, or
+//	   a damaged journal under -fsck
+//	2  usage error (bad flag values, unknown app)
+//	3  the sweep itself completed, but -quarantine left at least one
+//	   cell quarantined: its rows are rendered (marked QUARANTINED) and
+//	   the partial curve is usable, yet the table has holes. Automation
+//	   must not mistake that for a clean run — resume with -checkpoint
+//	   to retry the quarantined cells.
 package main
 
 import (
@@ -153,8 +165,8 @@ func main() {
 			fail(err)
 		}
 		if rep := j.LoadReport(); !rep.Clean() {
-			fmt.Fprintf(os.Stderr, "nmapsweep: journal damage skipped on load (run -fsck for detail): torn=%d bad-crc=%d dup-seq=%d\n",
-				rep.Torn+boolInt(rep.TornTail), rep.BadCRC, rep.DupSeq)
+			fmt.Fprintf(os.Stderr, "nmapsweep: journal damage skipped on load (run -fsck for detail): torn=%d blank=%d no-payload=%d bad-crc=%d dup-seq=%d\n",
+				rep.Torn+boolInt(rep.TornTail), rep.Blank, rep.NoPayload, rep.BadCRC, rep.DupSeq)
 		}
 		if n := j.Len(); n > 0 {
 			fmt.Fprintf(os.Stderr, "nmapsweep: resuming, %d cell(s) already journaled in %s\n", n, *checkpoint)
@@ -248,6 +260,22 @@ func main() {
 	if downgraded > 0 {
 		fmt.Fprintf(os.Stderr, "nmapsweep: %d cell(s) downgraded to the streaming histogram by -mem-budget-mb (quantiles within ~0.1%%)\n", downgraded)
 	}
+	if code := quarantineExitCode(quarantined); code != 0 {
+		// Journal records are fsynced as they are written, so skipping
+		// the deferred Close here loses nothing.
+		os.Exit(code)
+	}
+}
+
+// quarantineExitCode maps the quarantined-cell count to the process
+// exit code: 0 when every cell completed, 3 when the sweep finished but
+// holes remain. 3 is deliberately distinct from 1 (hard failure) and 2
+// (usage) so scripts can branch on "partial but usable".
+func quarantineExitCode(quarantined int) int {
+	if quarantined > 0 {
+		return 3
+	}
+	return 0
 }
 
 // quarantineOnly reports whether the sweep "error" is only the presence

@@ -54,6 +54,22 @@ func TestValidateFlags(t *testing.T) {
 	}
 }
 
+// TestQuarantineExitCode pins the exit-code contract: a sweep that
+// finishes with quarantined cells must exit 3 — distinct from clean (0),
+// hard failure (1), and usage error (2) — so CI and scripts never treat
+// a holey curve as a clean run. The QUARANTINED rows themselves are
+// still rendered before exiting (see main).
+func TestQuarantineExitCode(t *testing.T) {
+	if got := quarantineExitCode(0); got != 0 {
+		t.Fatalf("clean sweep exit code = %d, want 0", got)
+	}
+	for _, n := range []int{1, 2, 7} {
+		if got := quarantineExitCode(n); got != 3 {
+			t.Fatalf("%d quarantined cell(s) exit code = %d, want 3", n, got)
+		}
+	}
+}
+
 // TestTruncateErr keeps quarantine table cells one line and bounded.
 func TestTruncateErr(t *testing.T) {
 	short := errString("boom")

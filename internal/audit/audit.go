@@ -300,13 +300,14 @@ type Auditor struct {
 
 	// Hard-fault counters: work failed into the ledger because a
 	// component died, plus the offline/online transition tally.
-	ringCrashFail uint64 // ring packets failed when their queue died
-	crashPollFail uint64 // mid-poll batch payloads failed by Crash
-	crashAppFail  uint64 // app-held requests failed by Crash
-	crashSockFail uint64 // adoption-overflow requests failed by Adopt
-	shed          uint64 // requests refused by the admission controller
-	coreOffline   uint64 // observed core-offline transitions
-	coreOnline    uint64 // observed core-online transitions
+	ringCrashFail  uint64 // ring packets failed when their queue died
+	ringOutageFail uint64 // packets failed landing during a total NIC outage
+	crashPollFail  uint64 // mid-poll batch payloads failed by Crash
+	crashAppFail   uint64 // app-held requests failed by Crash
+	crashSockFail  uint64 // adoption-overflow requests failed by Adopt
+	shed           uint64 // requests refused by the admission controller
+	coreOffline    uint64 // observed core-offline transitions
+	coreOnline     uint64 // observed core-online transitions
 }
 
 // maxDetail bounds the violations kept with full detail; the counters
@@ -511,6 +512,17 @@ func (a *Auditor) RingCrashFail() {
 	}
 	a.checks[rPacket]++
 	a.ringCrashFail++
+}
+
+// RingOutageFail records a packet that arrived while every NIC queue
+// was offline (total outage — the node itself is down) and was failed
+// into the ledger instead of landing.
+func (a *Auditor) RingOutageFail() {
+	if a == nil {
+		return
+	}
+	a.checks[rPacket]++
+	a.ringOutageFail++
 }
 
 // CrashPollFail records a mid-poll batch payload failed by a core crash.
@@ -911,6 +923,7 @@ type Final struct {
 
 	// Hard-fault cross-checks from the models' own books.
 	CrashRingFails   uint64 // NIC TotalCrashFails
+	NICOutageFails   uint64 // NIC TotalOutageFails
 	KernelCrashFails uint64 // Σ kernel Counters().CrashFails
 	OfflineCores     uint64 // cores offline at the finalize instant
 	CoreCrashes      uint64 // faults.Stats.CoreCrashes
@@ -959,8 +972,9 @@ func (a *Auditor) Finalize(f Final) *Report {
 	accept := a.ringAccept + a.skewRingAccept
 	a.check(rPacket, -1, send >= a.wireDropReq+a.nicDeliver,
 		"more copies reached DMA than the client sent: %d + %d > %d", a.wireDropReq, a.nicDeliver, send)
-	a.check(rPacket, -1, a.nicDeliver >= accept+a.ringDrop,
-		"ring accepted+dropped (%d+%d) exceeds DMA-delivered (%d)", accept, a.ringDrop, a.nicDeliver)
+	a.check(rPacket, -1, a.nicDeliver >= accept+a.ringDrop+a.ringOutageFail,
+		"ring accepted+dropped+outage-failed (%d+%d+%d) exceeds DMA-delivered (%d)",
+		accept, a.ringDrop, a.ringOutageFail, a.nicDeliver)
 	a.check(rPacket, -1, accept == a.polled+a.ringCrashFail+f.RingResidual,
 		"ring accepted != polled + crash-failed + ring residual: %d != %d + %d + %d",
 		accept, a.polled, a.ringCrashFail, f.RingResidual)
@@ -1013,6 +1027,8 @@ func (a *Auditor) Finalize(f Final) *Report {
 	// Hard-fault cross-checks against the models' own books.
 	a.check(rFailure, -1, a.ringCrashFail == f.CrashRingFails,
 		"audited ring crash-fails != NIC counter: %d != %d", a.ringCrashFail, f.CrashRingFails)
+	a.check(rFailure, -1, a.ringOutageFail == f.NICOutageFails,
+		"audited NIC outage-fails != NIC counter: %d != %d", a.ringOutageFail, f.NICOutageFails)
 	a.check(rFailure, -1, a.crashPollFail+a.crashAppFail+a.crashSockFail == f.KernelCrashFails,
 		"audited kernel crash-fails != kernel counters: %d + %d + %d != %d",
 		a.crashPollFail, a.crashAppFail, a.crashSockFail, f.KernelCrashFails)

@@ -1,0 +1,102 @@
+// Cluster-level conservation: the front-end hand-off identity checked
+// across a fleet of nodes. Unlike the per-run rules, which the Auditor
+// accumulates at event granularity, the cluster identity is closed-form
+// over end-of-run ledgers, so it is checked standalone and merged into
+// the per-node reports by name (Report.Merge matches rules by name, so
+// a rule outside the per-run rule array composes cleanly).
+package audit
+
+import (
+	"fmt"
+
+	"nmapsim/internal/sim"
+)
+
+// RuleClusterConservation is the cross-node identity family: no request
+// crosses the front-end hand-off unaccounted, even while nodes are
+// down. Evaluated by CheckCluster, never by a per-run Auditor.
+const RuleClusterConservation Rule = "cluster-conservation"
+
+// ClusterFinal is the end-of-run snapshot CheckCluster audits: the
+// front-end router's ledger plus every node's client-side ledger.
+type ClusterFinal struct {
+	// Front-end router ledger.
+	FrontIssued     uint64 // requests the generator handed the router
+	FrontCompleted  uint64 // requests whose response reached the front end
+	FrontFailed     uint64 // requests terminally failed after exhausting the retry budget (or with no survivor)
+	FrontUnroutable uint64 // fresh requests refused because no node was routable
+	FrontInFlight   uint64 // requests the router still considers live
+	Resteers        uint64 // node-failure resubmissions the router dispatched
+
+	// Per-node ledgers, one entry per node in node order. NodeFailed is
+	// the node's TimedOut + Lost + Shed (every terminal failure the
+	// router's OnFail hook observed).
+	NodeIssued    []uint64
+	NodeCompleted []uint64
+	NodeFailed    []uint64
+	NodeInFlight  []uint64
+}
+
+// CheckCluster evaluates the cluster conservation identities over f and
+// returns a single-rule report (merge it into the per-node reports with
+// Report.Merge). The identities:
+//
+//  1. Σ node Issued + router unroutable == front-end Issued + resteers
+//     — every request the router saw either reached some node's ledger
+//     (possibly more than once, via resteers) or was refused explicitly.
+//  2. front Issued == Completed + Failed + Unroutable + InFlight — the
+//     router's own ledger balances.
+//  3. Σ node Completed == front Completed — a completion on any node is
+//     exactly one front-end completion.
+//  4. Σ node failures == resteers + front Failed — every node-side
+//     terminal failure was either resubmitted to a survivor or became a
+//     front-end failure; none vanished.
+//  5. Σ node InFlight == front InFlight — liveness agrees across the
+//     hand-off.
+func CheckCluster(now sim.Time, f ClusterFinal) *Report {
+	rep := &Report{Rules: []RuleStat{{Rule: RuleClusterConservation}}}
+	rs := &rep.Rules[0]
+	check := func(ok bool, format string, args ...any) {
+		rs.Checks++
+		if ok {
+			return
+		}
+		rs.Violations++
+		rep.Total++
+		if len(rep.Violations) < maxDetail {
+			rep.Violations = append(rep.Violations, Violation{
+				Rule:   RuleClusterConservation,
+				Time:   now,
+				Core:   -1,
+				Detail: fmt.Sprintf(format, args...),
+			})
+		}
+	}
+	var issued, completed, failed, inflight uint64
+	for _, v := range f.NodeIssued {
+		issued += v
+	}
+	for _, v := range f.NodeCompleted {
+		completed += v
+	}
+	for _, v := range f.NodeFailed {
+		failed += v
+	}
+	for _, v := range f.NodeInFlight {
+		inflight += v
+	}
+	check(issued+f.FrontUnroutable == f.FrontIssued+f.Resteers,
+		"Σ node issued + unroutable != front issued + resteers: %d + %d != %d + %d",
+		issued, f.FrontUnroutable, f.FrontIssued, f.Resteers)
+	check(f.FrontIssued == f.FrontCompleted+f.FrontFailed+f.FrontUnroutable+f.FrontInFlight,
+		"front issued != completed + failed + unroutable + in-flight: %d != %d + %d + %d + %d",
+		f.FrontIssued, f.FrontCompleted, f.FrontFailed, f.FrontUnroutable, f.FrontInFlight)
+	check(completed == f.FrontCompleted,
+		"Σ node completed != front completed: %d != %d", completed, f.FrontCompleted)
+	check(failed == f.Resteers+f.FrontFailed,
+		"Σ node failures != resteers + front failed: %d != %d + %d",
+		failed, f.Resteers, f.FrontFailed)
+	check(inflight == f.FrontInFlight,
+		"Σ node in-flight != front in-flight: %d != %d", inflight, f.FrontInFlight)
+	return rep
+}

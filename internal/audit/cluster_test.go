@@ -1,0 +1,133 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"nmapsim/internal/sim"
+)
+
+// consistentClusterFinal builds a ledger snapshot satisfying all five
+// cluster identities: 100 issued, 2 refused during a total outage, 4
+// resteers redispatching node failures, 3 front-end failures.
+func consistentClusterFinal() ClusterFinal {
+	return ClusterFinal{
+		FrontIssued:     100,
+		FrontCompleted:  90,
+		FrontFailed:     3,
+		FrontUnroutable: 2,
+		FrontInFlight:   5,
+		Resteers:        4,
+		NodeIssued:      []uint64{52, 50}, // 100 - 2 unroutable + 4 resteers
+		NodeCompleted:   []uint64{45, 45},
+		NodeFailed:      []uint64{4, 3}, // 4 resteered + 3 terminal
+		NodeInFlight:    []uint64{3, 2},
+	}
+}
+
+func TestCheckClusterClean(t *testing.T) {
+	rep := CheckCluster(42, consistentClusterFinal())
+	if err := rep.Err(); err != nil {
+		t.Fatalf("consistent cluster ledger flagged: %v", err)
+	}
+	if len(rep.Rules) != 1 || rep.Rules[0].Rule != RuleClusterConservation {
+		t.Fatalf("report rules = %+v, want exactly %s", rep.Rules, RuleClusterConservation)
+	}
+	if rep.Rules[0].Checks != 5 {
+		t.Fatalf("checks = %d, want all 5 identities evaluated", rep.Rules[0].Checks)
+	}
+}
+
+// Each identity breach is caught, filed under the cluster rule as a
+// global (core -1) violation whose detail names the imbalance.
+func TestCheckClusterViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*ClusterFinal)
+		wantSub string
+	}{
+		{"lost in hand-off", func(f *ClusterFinal) { f.NodeIssued[0]-- },
+			"node issued + unroutable != front issued + resteers"},
+		{"front ledger torn", func(f *ClusterFinal) { f.FrontCompleted++; f.NodeCompleted[0]++ },
+			"front issued != completed"},
+		{"completion double-counted", func(f *ClusterFinal) { f.NodeCompleted[1]++ },
+			"node completed != front completed"},
+		{"failure vanished", func(f *ClusterFinal) { f.NodeFailed[0]-- },
+			"node failures != resteers + front failed"},
+		{"liveness skew", func(f *ClusterFinal) { f.NodeInFlight[0]++ },
+			"node in-flight != front in-flight"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := consistentClusterFinal()
+			tc.mutate(&f)
+			rep := CheckCluster(7, f)
+			if !rep.Failed() {
+				t.Fatal("torn cluster ledger passed the audit")
+			}
+			v := rep.Violations[0]
+			if v.Rule != RuleClusterConservation || v.Core != -1 || v.Time != 7 {
+				t.Fatalf("violation misfiled: %+v", v)
+			}
+			if !strings.Contains(v.Detail, tc.wantSub) {
+				t.Fatalf("violation %q does not name the breach (want %q)", v.Detail, tc.wantSub)
+			}
+		})
+	}
+}
+
+// The cluster rule merges into a per-run report as its own row — the
+// per-run rule rows are untouched, so per-node report bytes are
+// identical with or without the cluster layer on top.
+func TestCheckClusterMergesIntoRunReport(t *testing.T) {
+	run := &Report{Rules: []RuleStat{{Rule: RulePacketConservation, Checks: 9}}}
+	run.Merge(CheckCluster(0, consistentClusterFinal()))
+	if len(run.Rules) != 2 {
+		t.Fatalf("merged report has %d rules, want the run rule plus the cluster rule", len(run.Rules))
+	}
+	if run.Rules[0].Rule != RulePacketConservation || run.Rules[0].Checks != 9 {
+		t.Fatalf("merge disturbed the per-run row: %+v", run.Rules[0])
+	}
+	if run.Rules[1].Rule != RuleClusterConservation || run.Rules[1].Checks != 5 {
+		t.Fatalf("cluster row missing after merge: %+v", run.Rules)
+	}
+	// Merging a second cluster report sums into the same row by name.
+	run.Merge(CheckCluster(0, consistentClusterFinal()))
+	if len(run.Rules) != 2 || run.Rules[1].Checks != 10 {
+		t.Fatalf("second merge did not sum by name: %+v", run.Rules)
+	}
+}
+
+// The total-outage failure reason is audited end to end: outage fails
+// must balance the NIC's own counter, and a skew in either direction is
+// a failure-domain violation.
+func TestRingOutageFailIdentity(t *testing.T) {
+	drive := func() (*Auditor, Final) {
+		a := New(sim.NewEngine(), 2, 15, 100)
+		for i := 0; i < 3; i++ {
+			a.ClientSend()
+			a.NICDeliver()
+			a.RingOutageFail()
+		}
+		fin := Final{
+			CoreBusyNs: []int64{0, 0}, CoreCC0Ns: []int64{0, 0},
+			CoreCC6: []int64{0, 0}, CoreTrans: []int64{0, 0},
+			CoreEnergyJ: []float64{0, 0},
+			Issued:      3, Lost: 3, NICOutageFails: 3,
+		}
+		return a, fin
+	}
+	a, fin := drive()
+	if rep := a.Finalize(fin); rep.Failed() {
+		t.Fatalf("consistent outage ledger flagged: %v", rep.Violations)
+	}
+	b, torn := drive()
+	torn.NICOutageFails = 2
+	rep := b.Finalize(torn)
+	if !rep.Failed() {
+		t.Fatal("torn outage counter passed the audit")
+	}
+	if d := rep.Violations[0].Detail; !strings.Contains(d, "outage") {
+		t.Fatalf("violation %q does not name the outage skew", d)
+	}
+}

@@ -1,0 +1,95 @@
+package cluster
+
+// nodePhase is a node's health as the router sees it — a three-state
+// circuit breaker driven by the deterministic prober.
+type nodePhase uint8
+
+const (
+	// phaseUp: routable, failures reset the probe counter only.
+	phaseUp nodePhase = iota
+	// phaseHalfOpen: the node answered a probe after being down; it is
+	// routable again (that trial traffic is what closes the circuit) but
+	// one terminal failure reopens it immediately.
+	phaseHalfOpen
+	// phaseDown: not routable; probes keep running to detect recovery.
+	phaseDown
+)
+
+// health is the cluster's deterministic health model: a probe tick per
+// interval per node (asking only Srv.NodeDown — no packets, no RNG, no
+// physics), mark-down after MarkDownAfter consecutive failed probes,
+// and half-open recovery requiring HalfOpenSuccess completions before
+// the node counts as fully up. The probe events are physics-neutral:
+// they read node state and touch only router-side bookkeeping, so a
+// fault-free run's physics are byte-identical with the prober on.
+type health struct {
+	c     *Cluster
+	cfg   HealthConfig
+	phase []nodePhase
+	// fails counts consecutive failed probes; okRun counts completions
+	// observed while half-open.
+	fails, okRun       []int
+	markDowns, markUps uint64
+}
+
+func newHealth(c *Cluster) *health {
+	return &health{
+		c:     c,
+		cfg:   c.Cfg.Health,
+		phase: make([]nodePhase, c.Cfg.Nodes),
+		fails: make([]int, c.Cfg.Nodes),
+		okRun: make([]int, c.Cfg.Nodes),
+	}
+}
+
+func (h *health) start() {
+	h.c.Eng.Ticker(h.cfg.ProbeEvery, h.probe)
+}
+
+// probe examines every node once per interval.
+func (h *health) probe() {
+	for i, n := range h.c.Nodes {
+		if n.Srv.NodeDown() {
+			h.fails[i]++
+			h.okRun[i] = 0
+			if h.phase[i] != phaseDown && h.fails[i] >= h.cfg.MarkDownAfter {
+				h.phase[i] = phaseDown
+				h.markDowns++
+			}
+			continue
+		}
+		h.fails[i] = 0
+		if h.phase[i] == phaseDown {
+			// The machine is back: admit trial traffic.
+			h.phase[i] = phaseHalfOpen
+		}
+	}
+}
+
+// routable is the router's view: everything but Down takes traffic.
+func (h *health) routable(i int) bool { return h.phase[i] != phaseDown }
+
+// observeSuccess credits a completion toward closing a half-open
+// node's circuit.
+func (h *health) observeSuccess(i int) {
+	if h.phase[i] != phaseHalfOpen {
+		return
+	}
+	h.okRun[i]++
+	if h.okRun[i] >= h.cfg.HalfOpenSuccess {
+		h.phase[i] = phaseUp
+		h.okRun[i] = 0
+		h.markUps++
+	}
+}
+
+// observeFailure reopens a half-open node's circuit on the first
+// terminal failure — trial traffic proved the node is not ready.
+func (h *health) observeFailure(i int) {
+	if h.phase[i] != phaseHalfOpen {
+		return
+	}
+	h.phase[i] = phaseDown
+	h.okRun[i] = 0
+	h.markDowns++
+}

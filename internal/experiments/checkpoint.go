@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bufio"
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -115,6 +116,9 @@ type Journal struct {
 // them and the affected cells re-run deterministically — but -fsck
 // surfaces them so an operator can tell bit-rot from a clean resume.
 type FsckReport struct {
+	// Empty reports a zero-byte journal: a distinct, healthy state (a
+	// sweep that checkpointed nothing), not a damage class.
+	Empty bool
 	// Lines is the total number of (non-empty) lines scanned.
 	Lines int
 	// V1 and V2 count well-formed records by format version.
@@ -124,6 +128,16 @@ type FsckReport struct {
 	// Torn counts unparseable lines: truncated frames, malformed JSON,
 	// or garbage — the residue of a kill or ENOSPC mid-write.
 	Torn int
+	// Blank counts whitespace-only lines. They carry no record and no
+	// frame, so they are filed as their own damage class rather than
+	// lumped in with torn writes: a blank line points at an editor or
+	// concatenation accident, not a kill mid-write.
+	Blank int
+	// NoPayload counts v2 frames whose header parsed (seq and CRC both
+	// well-formed) but that carry no payload bytes at all — a write cut
+	// exactly at the frame/payload boundary, distinguishable from both a
+	// torn frame and a payload that fails its CRC.
+	NoPayload int
 	// BadCRC counts v2 lines whose payload failed its checksum (bit-rot
 	// or a torn payload that still parsed as a frame).
 	BadCRC int
@@ -142,7 +156,7 @@ type FsckReport struct {
 // not fail Clean when every gap is explained by a damaged line already
 // counted (a torn line loses its sequence number too).
 func (r FsckReport) Clean() bool {
-	damaged := r.Torn + r.BadCRC + r.DupSeq
+	damaged := r.Torn + r.Blank + r.NoPayload + r.BadCRC + r.DupSeq
 	if r.TornTail {
 		return false
 	}
@@ -153,10 +167,14 @@ func (r FsckReport) Clean() bool {
 // prints.
 func (r FsckReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "journal: %d line(s), %d cell(s) loadable (%d v2, %d v1)\n",
-		r.Lines, r.Cells, r.V2, r.V1)
-	fmt.Fprintf(&b, "damage:  torn=%d bad-crc=%d dup-seq=%d seq-gaps=%d torn-tail=%v\n",
-		r.Torn, r.BadCRC, r.DupSeq, r.SeqGaps, r.TornTail)
+	if r.Empty {
+		b.WriteString("journal: empty (zero bytes) — nothing checkpointed yet\n")
+	} else {
+		fmt.Fprintf(&b, "journal: %d line(s), %d cell(s) loadable (%d v2, %d v1)\n",
+			r.Lines, r.Cells, r.V2, r.V1)
+	}
+	fmt.Fprintf(&b, "damage:  torn=%d blank=%d no-payload=%d bad-crc=%d dup-seq=%d seq-gaps=%d torn-tail=%v\n",
+		r.Torn, r.Blank, r.NoPayload, r.BadCRC, r.DupSeq, r.SeqGaps, r.TornTail)
 	if r.Clean() {
 		b.WriteString("verdict: clean")
 	} else {
@@ -190,6 +208,10 @@ func scanJournal(r io.Reader) (entries map[string]json.RawMessage, rep FsckRepor
 				switch {
 				case !complete:
 					rep.Torn++
+				case len(bytes.TrimSpace(line)) == 0:
+					// Whitespace-only line: no frame, no record. Its own
+					// damage class — see FsckReport.Blank.
+					rep.Blank++
 				case line[0] == '{':
 					// v1: bare JSON object, no framing. No CRC to check —
 					// malformed JSON is the only detectable damage.
@@ -201,13 +223,16 @@ func scanJournal(r io.Reader) (entries map[string]json.RawMessage, rep FsckRepor
 					rep.V1++
 					entries[ent.Spec] = append(json.RawMessage(nil), ent.Result...)
 				default:
-					seq, payload, ok := parseV2Line(line)
-					if !ok {
+					seq, payload, verdict := parseV2Line(line)
+					switch verdict {
+					case v2Malformed:
 						rep.Torn++
-						break
-					}
-					if payload == nil {
+					case v2NoPayload:
+						rep.NoPayload++
+					case v2BadCRC:
 						rep.BadCRC++
+					}
+					if verdict != v2OK {
 						break
 					}
 					if seen[seq] {
@@ -242,39 +267,52 @@ func scanJournal(r io.Reader) (entries map[string]json.RawMessage, rep FsckRepor
 		rep.SeqGaps = int(maxSeq-minSeq+1) - len(seen)
 	}
 	rep.Cells = len(entries)
+	rep.Empty = tail == 0 && !rep.TornTail && rep.Lines == 0
 	return entries, rep, maxSeq, tail, nil
 }
 
-// parseV2Line splits a "j2 <seq> <crc> <payload>" frame. ok is false for
-// a malformed frame; a well-formed frame whose CRC does not match the
-// payload returns ok with a nil payload.
-func parseV2Line(line []byte) (seq uint64, payload []byte, ok bool) {
+// v2Verdict classifies one v2 journal line.
+type v2Verdict int
+
+const (
+	v2OK        v2Verdict = iota
+	v2Malformed           // frame does not parse as "j2 <seq> <crc> ..."
+	v2NoPayload           // header intact, zero payload bytes
+	v2BadCRC              // payload present but fails its checksum
+)
+
+// parseV2Line splits a "j2 <seq> <crc> <payload>" frame. seq is only
+// meaningful when the verdict is v2OK or v2NoPayload (the header
+// parsed); payload only when v2OK.
+func parseV2Line(line []byte) (seq uint64, payload []byte, verdict v2Verdict) {
 	s := string(line)
 	rest, found := strings.CutPrefix(s, "j2 ")
 	if !found {
-		return 0, nil, false
+		return 0, nil, v2Malformed
 	}
 	seqStr, rest, found := strings.Cut(rest, " ")
 	if !found {
-		return 0, nil, false
-	}
-	crcStr, payloadStr, found := strings.Cut(rest, " ")
-	if !found {
-		return 0, nil, false
+		return 0, nil, v2Malformed
 	}
 	seq, err := strconv.ParseUint(seqStr, 10, 64)
 	if err != nil {
-		return 0, nil, false
+		return 0, nil, v2Malformed
 	}
+	crcStr, payloadStr, hasPayload := strings.Cut(rest, " ")
 	want, err := strconv.ParseUint(crcStr, 16, 32)
 	if err != nil {
-		return 0, nil, false
+		return 0, nil, v2Malformed
+	}
+	if !hasPayload || payloadStr == "" {
+		// "j2 <seq> <crc>" with nothing after: the write died exactly at
+		// the frame/payload boundary.
+		return seq, nil, v2NoPayload
 	}
 	p := []byte(payloadStr)
 	if crc32.Checksum(p, crcTable) != uint32(want) {
-		return seq, nil, true
+		return seq, nil, v2BadCRC
 	}
-	return seq, p, true
+	return seq, p, v2OK
 }
 
 // OpenJournal opens (creating if absent) the journal at path and loads

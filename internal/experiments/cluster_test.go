@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Interrupting fig-cluster mid-run checkpoints what is in hand: the
+// in-flight arm is kept as a partial result with every node's summary
+// present in input order, untouched arms are absent, and the figure
+// still renders.
+func TestFigClusterCtxCancelCheckpointsPartial(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	fig, err := FigClusterCtx(ctx, Quick, 3, "rr")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the ctx cause", err)
+	}
+	if len(fig.Arms) != 1 {
+		t.Fatalf("got %d arms, want only the interrupted first arm", len(fig.Arms))
+	}
+	arm := fig.Arms[0]
+	if arm.Done {
+		t.Fatal("interrupted arm marked Done")
+	}
+	if len(arm.Result.Nodes) != 3 {
+		t.Fatalf("partial arm kept %d node results, want all 3 in input order", len(arm.Result.Nodes))
+	}
+	out := RenderCluster(fig)
+	if !strings.Contains(out, "(partial)") {
+		t.Fatal("render does not flag the interrupted arm as partial")
+	}
+}
+
+// A pre-cancelled ctx yields no arms at all — nothing ran, nothing is
+// fabricated.
+func TestFigClusterCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fig, err := FigClusterCtx(ctx, Quick, 2, "rr")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(fig.Arms) != 0 {
+		t.Fatalf("pre-cancelled run fabricated %d arms", len(fig.Arms))
+	}
+}
+
+// The figure is deterministic: two runs of the same scenario render to
+// identical bytes, and the default scenario actually exercises the
+// resteer path.
+func TestFigClusterDeterministic(t *testing.T) {
+	a, err := FigCluster(Quick, 2, "rr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FigCluster(Quick, 2, "rr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := RenderCluster(a), RenderCluster(b)
+	if ra != rb {
+		t.Fatal("two identical fig-cluster runs rendered differently")
+	}
+	var resteers uint64
+	for _, arm := range a.Arms {
+		resteers += arm.Result.Front.Resteers
+	}
+	if resteers == 0 {
+		t.Fatal("default node-crash scenario produced no resteers — the crash missed the burst window")
+	}
+	if !strings.Contains(ra, "offline-nodes") {
+		t.Fatalf("render missing the offline-node timeline:\n%s", ra)
+	}
+}

@@ -198,6 +198,13 @@ func StreamingDefault() bool {
 // validated here — an invalid NIC/kernel/CPU parameter surfaces as a
 // descriptive error instead of a panic deep inside the run.
 func Build(spec Spec) (*server.Server, error) {
+	return BuildOn(spec, nil)
+}
+
+// BuildOn is Build on a caller-supplied engine (nil means a fresh one)
+// — the seam the cluster harness uses to assemble every node, policy
+// included, on one calendar queue.
+func BuildOn(spec Spec, eng *sim.Engine) (*server.Server, error) {
 	idleName := spec.Idle
 	if idleName == "" {
 		idleName = "menu"
@@ -249,7 +256,10 @@ func Build(spec Spec) (*server.Server, error) {
 		idle = sw
 	}
 
-	s := server.New(cfg, idle)
+	if eng == nil {
+		eng = sim.NewEngine()
+	}
+	s := server.NewOnEngine(cfg, idle, eng)
 	m := s.Cfg.Model
 
 	newStack := func(g governor.CPUGovernor) *governor.Stack {

@@ -63,6 +63,42 @@ type Config struct {
 	// interrupts and returning polled packets for the stall window (DMA
 	// keeps landing packets, so the ring fills and overflows honestly).
 	QueueStalls []QueueStall
+	// NodeCrashes schedules whole-node hard failures: at each entry's
+	// instant the named cluster node loses every core at once and, if
+	// the entry carries a duration, reboots that much later. Meaningful
+	// only to a cluster assembly — a single server carries them in its
+	// config but never arms them (the cluster owns the node lifecycle).
+	// Like the other scheduled hard faults they draw nothing from the
+	// PRNG.
+	NodeCrashes []NodeCrash
+	// NodeSlows schedules whole-node slowdown windows: every core of the
+	// named node is clamped to the slowest P-state covering the factor
+	// (a thermal event or failed fan at node scale) for the window.
+	NodeSlows []NodeSlow
+}
+
+// NodeCrash schedules one whole-node hard failure.
+type NodeCrash struct {
+	// Node is the cluster node that dies.
+	Node int
+	// At is the simulated instant the crash fires.
+	At sim.Duration
+	// Duration is how long the node stays down; zero means the crash is
+	// permanent for the rest of the run.
+	Duration sim.Duration
+}
+
+// NodeSlow schedules one whole-node slowdown window.
+type NodeSlow struct {
+	// Node is the cluster node that slows.
+	Node int
+	// At is the simulated instant the slowdown begins.
+	At sim.Duration
+	// Duration is the slowdown window (always bounded).
+	Duration sim.Duration
+	// Factor is the frequency ratio to cover: 2 clamps the node to the
+	// slowest P-state at or above half of P0's frequency. Must be > 1.
+	Factor float64
 }
 
 // CoreCrash schedules one hard core failure.
@@ -91,7 +127,8 @@ type QueueStall struct {
 func (c Config) Enabled() bool {
 	return c.WireLossProb > 0 || c.IRQLossProb > 0 ||
 		c.IRQJitter > 0 || c.DMAJitter > 0 || c.ThrottleRate > 0 ||
-		len(c.CoreCrashes) > 0 || len(c.QueueStalls) > 0
+		len(c.CoreCrashes) > 0 || len(c.QueueStalls) > 0 ||
+		len(c.NodeCrashes) > 0 || len(c.NodeSlows) > 0
 }
 
 // Validate rejects out-of-range parameters with a descriptive error.
@@ -139,6 +176,31 @@ func (c Config) Validate() error {
 			return fmt.Errorf("faults: queuestall needs a positive duration, got %v", qs.Duration)
 		}
 	}
+	for _, nc := range c.NodeCrashes {
+		if nc.Node < 0 {
+			return fmt.Errorf("faults: negative nodecrash node %d", nc.Node)
+		}
+		if nc.At < 0 {
+			return fmt.Errorf("faults: negative nodecrash time %v", nc.At)
+		}
+		if nc.Duration < 0 {
+			return fmt.Errorf("faults: negative nodecrash duration %v", nc.Duration)
+		}
+	}
+	for _, ns := range c.NodeSlows {
+		if ns.Node < 0 {
+			return fmt.Errorf("faults: negative nodeslow node %d", ns.Node)
+		}
+		if ns.At < 0 {
+			return fmt.Errorf("faults: negative nodeslow time %v", ns.At)
+		}
+		if ns.Duration <= 0 {
+			return fmt.Errorf("faults: nodeslow needs a positive duration, got %v", ns.Duration)
+		}
+		if ns.Factor <= 1 {
+			return fmt.Errorf("faults: nodeslow factor must be > 1, got %g", ns.Factor)
+		}
+	}
 	return nil
 }
 
@@ -159,6 +221,13 @@ type Stats struct {
 	CoreRecoveries uint64
 	// QueueStalls counts stall windows that actually began.
 	QueueStalls uint64
+	// NodeCrashes counts whole nodes actually taken down (a crash
+	// scheduled on an already-dead node is skipped).
+	NodeCrashes uint64
+	// NodeRecoveries counts nodes rebooted after a timed node crash.
+	NodeRecoveries uint64
+	// NodeSlows counts node slowdown windows that actually began.
+	NodeSlows uint64
 }
 
 // Injector draws fault decisions for one run. All methods are
@@ -278,10 +347,14 @@ func (i *Injector) StartThrottler(eng *sim.Engine, cores int, pstate int, clamp 
 //
 // crash takes the core offline and reports whether it actually did (the
 // server refuses to kill an already-dead core or the last survivor);
-// restore brings it back. stall sticks the Rx queue and reports whether
-// it did; unstall releases it. Recovery/unstall events are scheduled
-// only when the corresponding fault took effect.
-func (i *Injector) StartHardFaults(eng *sim.Engine, crash func(core int) bool, restore func(core int), stall func(q int) bool, unstall func(q int)) {
+// restore brings it back and reports whether it did — a node-level
+// crash can sweep the core up first, in which case the node's reboot
+// owns the recovery and the per-core event is a counted-only-if-taken
+// no-op. stall sticks the Rx queue and reports whether it did; unstall
+// releases it. Recovery/unstall events are scheduled only when the
+// corresponding fault took effect, and recoveries are counted only when
+// they took effect too.
+func (i *Injector) StartHardFaults(eng *sim.Engine, crash func(core int) bool, restore func(core int) bool, stall func(q int) bool, unstall func(q int)) {
 	if i == nil {
 		return
 	}
@@ -294,8 +367,9 @@ func (i *Injector) StartHardFaults(eng *sim.Engine, crash func(core int) bool, r
 			i.stats.CoreCrashes++
 			if cc.Duration > 0 {
 				eng.Schedule(cc.Duration, func() {
-					i.stats.CoreRecoveries++
-					restore(cc.Core)
+					if restore(cc.Core) {
+						i.stats.CoreRecoveries++
+					}
 				})
 			}
 		})
@@ -308,6 +382,47 @@ func (i *Injector) StartHardFaults(eng *sim.Engine, crash func(core int) bool, r
 			}
 			i.stats.QueueStalls++
 			eng.Schedule(qs.Duration, func() { unstall(qs.Queue) })
+		})
+	}
+}
+
+// StartNodeFaults arms the scheduled node-level hard faults on the
+// engine — the cluster-side sibling of StartHardFaults, riding the same
+// no-PRNG contract: the schedule is fixed by the configuration, so a
+// node fault past the run horizon perturbs no physics stream.
+//
+// crash takes the whole node down and reports whether it did (an
+// already-dead node is skipped); restore reboots it and reports whether
+// it did. slow clamps the node's cores for the window and reports
+// whether the clamp took; unslow lifts it.
+func (i *Injector) StartNodeFaults(eng *sim.Engine, crash func(node int) bool, restore func(node int) bool, slow func(node int, factor float64) bool, unslow func(node int)) {
+	if i == nil {
+		return
+	}
+	for _, nc := range i.cfg.NodeCrashes {
+		nc := nc
+		eng.At(sim.Time(nc.At), func() {
+			if !crash(nc.Node) {
+				return
+			}
+			i.stats.NodeCrashes++
+			if nc.Duration > 0 {
+				eng.Schedule(nc.Duration, func() {
+					if restore(nc.Node) {
+						i.stats.NodeRecoveries++
+					}
+				})
+			}
+		})
+	}
+	for _, ns := range i.cfg.NodeSlows {
+		ns := ns
+		eng.At(sim.Time(ns.At), func() {
+			if !slow(ns.Node, ns.Factor) {
+				return
+			}
+			i.stats.NodeSlows++
+			eng.Schedule(ns.Duration, func() { unslow(ns.Node) })
 		})
 	}
 }
@@ -325,9 +440,15 @@ func (i *Injector) StartHardFaults(eng *sim.Engine, crash func(core int) bool, r
 //	                      :D suffix the core recovers after D, without it
 //	                      the crash is permanent (e.g. corecrash=2@300ms:200ms)
 //	queuestall=Q@T:D      Rx queue Q sticks at time T for duration D
+//	nodecrash=NODE@T[:D]  whole-node hard failure at time T; with a :D
+//	                      suffix the node reboots after D (cluster runs
+//	                      only — a single server ignores it)
+//	nodeslow=NODE@T:D:F   node NODE runs at 1/F of full frequency from
+//	                      time T for duration D (e.g. nodeslow=1@300ms:100ms:2)
 //
-// Scalar keys may appear at most once; corecrash and queuestall repeat,
-// one fault per occurrence. An empty spec returns the zero Config.
+// Scalar keys may appear at most once; corecrash, queuestall, nodecrash
+// and nodeslow repeat, one fault per occurrence. An empty spec returns
+// the zero Config.
 func ParseSpec(spec string) (Config, error) {
 	var c Config
 	spec = strings.TrimSpace(spec)
@@ -343,7 +464,7 @@ func ParseSpec(spec string) (Config, error) {
 		// Hard-fault keys are repeatable (one scheduled fault each);
 		// every scalar knob may be set only once.
 		switch key {
-		case "corecrash", "queuestall":
+		case "corecrash", "queuestall", "nodecrash", "nodeslow":
 		default:
 			if seen[key] {
 				return c, fmt.Errorf("faults: duplicate key %q in %q", key, part)
@@ -366,8 +487,12 @@ func ParseSpec(spec string) (Config, error) {
 			err = c.parseCoreCrash(val)
 		case "queuestall":
 			err = c.parseQueueStall(val)
+		case "nodecrash":
+			err = c.parseNodeCrash(val)
+		case "nodeslow":
+			err = c.parseNodeSlow(val)
 		default:
-			return c, fmt.Errorf("faults: unknown key %q (want loss, irqloss, irqjitter, dmajitter, throttle, corecrash, queuestall)", key)
+			return c, fmt.Errorf("faults: unknown key %q (want loss, irqloss, irqjitter, dmajitter, throttle, corecrash, queuestall, nodecrash, nodeslow)", key)
 		}
 		if err != nil {
 			return c, fmt.Errorf("faults: bad %s value %q: %v", key, val, err)
@@ -460,6 +585,77 @@ func (c *Config) parseQueueStall(val string) error {
 		return fmt.Errorf("stall duration must be positive, got %v", qs.Duration)
 	}
 	c.QueueStalls = append(c.QueueStalls, qs)
+	return nil
+}
+
+// parseNodeCrash parses "NODE@T" or "NODE@T:D" and appends the fault.
+func (c *Config) parseNodeCrash(val string) error {
+	nodeStr, when, ok := strings.Cut(val, "@")
+	if !ok {
+		return fmt.Errorf("want NODE@TIME or NODE@TIME:DUR")
+	}
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil {
+		return err
+	}
+	if node < 0 {
+		return fmt.Errorf("negative node %d", node)
+	}
+	nc := NodeCrash{Node: node}
+	atStr, durStr, timed := strings.Cut(when, ":")
+	if nc.At, err = parseNonNegDur(atStr); err != nil {
+		return err
+	}
+	if timed {
+		if nc.Duration, err = parseDur(durStr); err != nil {
+			return err
+		}
+		if nc.Duration <= 0 {
+			return fmt.Errorf("reboot duration must be positive, got %v", nc.Duration)
+		}
+	}
+	c.NodeCrashes = append(c.NodeCrashes, nc)
+	return nil
+}
+
+// parseNodeSlow parses "NODE@T:D:F" and appends the fault.
+func (c *Config) parseNodeSlow(val string) error {
+	nodeStr, when, ok := strings.Cut(val, "@")
+	if !ok {
+		return fmt.Errorf("want NODE@TIME:DUR:FACTOR")
+	}
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil {
+		return err
+	}
+	if node < 0 {
+		return fmt.Errorf("negative node %d", node)
+	}
+	atStr, rest, ok := strings.Cut(when, ":")
+	if !ok {
+		return fmt.Errorf("want NODE@TIME:DUR:FACTOR (the window and factor are mandatory)")
+	}
+	durStr, facStr, ok := strings.Cut(rest, ":")
+	if !ok {
+		return fmt.Errorf("want NODE@TIME:DUR:FACTOR (the factor is mandatory)")
+	}
+	ns := NodeSlow{Node: node}
+	if ns.At, err = parseNonNegDur(atStr); err != nil {
+		return err
+	}
+	if ns.Duration, err = parseDur(durStr); err != nil {
+		return err
+	}
+	if ns.Duration <= 0 {
+		return fmt.Errorf("slowdown duration must be positive, got %v", ns.Duration)
+	}
+	if ns.Factor, err = strconv.ParseFloat(facStr, 64); err != nil {
+		return err
+	}
+	if ns.Factor <= 1 {
+		return fmt.Errorf("factor must be > 1, got %g", ns.Factor)
+	}
+	c.NodeSlows = append(c.NodeSlows, ns)
 	return nil
 }
 

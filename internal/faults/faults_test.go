@@ -211,7 +211,7 @@ func TestStartHardFaultsSchedule(t *testing.T) {
 			add("crash", eng.Now())
 			return core != 3
 		},
-		func(core int) { add("restore", eng.Now()) },
+		func(core int) bool { add("restore", eng.Now()); return true },
 		func(q int) bool { add("stall", eng.Now()); return true },
 		func(q int) { add("unstall", eng.Now()) })
 	eng.Run(sim.Time(100 * sim.Millisecond))
@@ -243,5 +243,109 @@ func TestValidate(t *testing.T) {
 		if err := bad.Validate(); err == nil {
 			t.Errorf("Validate(%+v) accepted invalid config", bad)
 		}
+	}
+}
+
+// Node-level fault spec syntax: nodecrash repeats with an optional
+// reboot window, nodeslow always carries a window and a factor.
+func TestParseSpecNodeFaults(t *testing.T) {
+	cfg, err := ParseSpec("nodecrash=1@250ms:100ms,nodecrash=0@400ms,nodeslow=2@300ms:50ms:2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		NodeCrashes: []NodeCrash{
+			{Node: 1, At: 250 * sim.Millisecond, Duration: 100 * sim.Millisecond},
+			{Node: 0, At: 400 * sim.Millisecond},
+		},
+		NodeSlows: []NodeSlow{
+			{Node: 2, At: 300 * sim.Millisecond, Duration: 50 * sim.Millisecond, Factor: 2.5},
+		},
+	}
+	if !reflect.DeepEqual(cfg, want) {
+		t.Fatalf("ParseSpec = %+v, want %+v", cfg, want)
+	}
+	if !cfg.Enabled() {
+		t.Fatal("node faults alone must enable the injector config")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []struct{ spec, wantSub string }{
+		{"nodecrash=1", "NODE@TIME"},
+		{"nodecrash=x@1ms", "nodecrash"},
+		{"nodecrash=-1@1ms", "negative node"},
+		{"nodecrash=1@-5ms", "negative duration"},
+		{"nodecrash=1@5ms:0ms", "must be positive"},
+		{"nodeslow=1@5ms", "mandatory"},
+		{"nodeslow=1@5ms:10ms", "factor is mandatory"},
+		{"nodeslow=1@5ms:0ms:2", "must be positive"},
+		{"nodeslow=1@5ms:10ms:1", "factor must be > 1"},
+		{"nodeslow=-1@5ms:10ms:2", "negative node"},
+	} {
+		_, err := ParseSpec(bad.spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted a malformed spec", bad.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), bad.wantSub) {
+			t.Errorf("ParseSpec(%q) error %q does not name the problem (want %q)", bad.spec, err, bad.wantSub)
+		}
+	}
+}
+
+func TestValidateNodeFaults(t *testing.T) {
+	for _, bad := range []Config{
+		{NodeCrashes: []NodeCrash{{Node: -1, At: sim.Millisecond}}},
+		{NodeCrashes: []NodeCrash{{Node: 0, At: -sim.Millisecond}}},
+		{NodeCrashes: []NodeCrash{{Node: 0, At: sim.Millisecond, Duration: -1}}},
+		{NodeSlows: []NodeSlow{{Node: -1, At: 0, Duration: sim.Millisecond, Factor: 2}}},
+		{NodeSlows: []NodeSlow{{Node: 0, At: 0, Duration: 0, Factor: 2}}},
+		{NodeSlows: []NodeSlow{{Node: 0, At: 0, Duration: sim.Millisecond, Factor: 1}}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid node fault", bad)
+		}
+	}
+}
+
+// StartNodeFaults arms exactly the scheduled node faults: crashes fire
+// at their instants, timed reboots follow and are counted only when the
+// restore callback reports it took effect, slow windows bracket their
+// duration, and vetoed faults schedule no follow-up.
+func TestStartNodeFaultsSchedule(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := Config{
+		NodeCrashes: []NodeCrash{
+			{Node: 1, At: 10 * sim.Millisecond, Duration: 5 * sim.Millisecond},
+			{Node: 0, At: 20 * sim.Millisecond}, // permanent
+			{Node: 2, At: 30 * sim.Millisecond}, // vetoed below
+		},
+		NodeSlows: []NodeSlow{
+			{Node: 3, At: 12 * sim.Millisecond, Duration: 3 * sim.Millisecond, Factor: 2},
+		},
+	}
+	inj := New(cfg, sim.NewRNG(1))
+	var log []string
+	add := func(ev string, at sim.Time) { log = append(log, ev+"@"+sim.Duration(at).String()) }
+	inj.StartNodeFaults(eng,
+		func(node int) bool { add("crash", eng.Now()); return node != 2 },
+		func(node int) bool { add("reboot", eng.Now()); return true },
+		func(node int, factor float64) bool {
+			if factor != 2 {
+				t.Fatalf("slow factor = %g, want 2", factor)
+			}
+			add("slow", eng.Now())
+			return true
+		},
+		func(node int) { add("unslow", eng.Now()) })
+	eng.Run(sim.Time(100 * sim.Millisecond))
+	want := []string{"crash@10ms", "slow@12ms", "reboot@15ms", "unslow@15ms", "crash@20ms", "crash@30ms"}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("node-fault schedule = %v, want %v", log, want)
+	}
+	st := inj.Stats()
+	if st.NodeCrashes != 2 || st.NodeRecoveries != 1 || st.NodeSlows != 1 {
+		t.Fatalf("stats = %+v, want 2 node crashes, 1 recovery, 1 slow", st)
 	}
 }

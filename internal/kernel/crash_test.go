@@ -104,9 +104,10 @@ func TestAdoptOverflowFailsIntoLedger(t *testing.T) {
 // An offline kernel is inert — interrupts, ticks and dispatch are all
 // no-ops until Recover. The full teardown mirrors the server's
 // choreography (OfflineQueue around Crash, OnlineQueue after Recover):
-// with no surviving queue to re-steer to, post-crash deliveries strand
-// in the dead ring and are polled out after recovery, so nothing ever
-// vanishes.
+// this rig has a single queue, so offlining it is a total NIC outage —
+// post-crash deliveries fail into the ledger with the explicit outage
+// reason (never landing in the dead ring, never vanishing silently),
+// and fresh deliveries after recovery complete normally.
 func TestOfflineKernelIgnoresWorkUntilRecover(t *testing.T) {
 	r := newRig(3200, cpu.CC0)
 	r.deliver(2)
@@ -126,6 +127,9 @@ func TestOfflineKernelIgnoresWorkUntilRecover(t *testing.T) {
 		t.Fatalf("offline kernel did work: completed=%d interrupts=%d (was %d)",
 			c.Completed, c.Interrupts, irqsBefore)
 	}
+	if got := r.dev.TotalOutageFails(); got != 3 {
+		t.Fatalf("outage fails=%d, want the 3 deliveries during total outage", got)
+	}
 	// Double-crash is idempotent: nothing new to strand.
 	if stranded := r.k.Crash(); stranded != nil {
 		t.Fatalf("second Crash returned %d requests", len(stranded))
@@ -134,10 +138,10 @@ func TestOfflineKernelIgnoresWorkUntilRecover(t *testing.T) {
 	if r.k.Offline() {
 		t.Fatal("kernel still offline after Recover")
 	}
-	r.dev.OnlineQueue(0) // re-arms the IRQ over the 3 stranded packets
+	r.dev.OnlineQueue(0)
 	r.deliver(3)
 	drain(r.eng)
-	if got := r.k.Counters().Completed; got != 8 {
-		t.Fatalf("completed=%d after recovery, want 8 (2 warmup + 3 stranded + 3 fresh)", got)
+	if got := r.k.Counters().Completed; got != 5 {
+		t.Fatalf("completed=%d after recovery, want 5 (2 warmup + 3 fresh; outage deliveries failed)", got)
 	}
 }

@@ -711,6 +711,19 @@ func (k *CoreKernel) Adopt(rs []*workload.Request) {
 	k.dispatch()
 }
 
+// AbandonBacklog fails a crashed core's socket-queue backlog into the
+// ledger — the node-level counterpart of Adopt, used when the whole
+// node died and no surviving core exists to re-home the queue. Each
+// request goes through the same crash-fail accounting as an Adopt
+// overflow, so the auditor's kernel-crash identities balance whether a
+// backlog was adopted, overflowed, or abandoned wholesale.
+func (k *CoreKernel) AbandonBacklog(rs []*workload.Request) {
+	for _, r := range rs {
+		k.aud.CrashSockFail(k.ID)
+		k.crashFail(r)
+	}
+}
+
 // Recover brings a crashed kernel back: state was settled by Crash, so
 // recovery is simply re-entering the idle loop (the scheduler tick never
 // stopped; it was gated by the offline flag).

@@ -101,6 +101,11 @@ type queue struct {
 	drops      uint64
 	interrupts uint64
 	crashFails uint64
+	// outageFails counts packets that arrived while every queue was
+	// offline (total NIC outage): no re-steer target exists, so the
+	// packet fails into the ledger with its own explicit reason rather
+	// than masquerading as ring overflow or a dead-ring crash fail.
+	outageFails uint64
 }
 
 // txOp is the pooled in-flight state of one Transmit call: the shared
@@ -249,8 +254,10 @@ func (n *NIC) QueueFor(flow uint64) int {
 
 // NextOnlineQueue returns the first online queue at or after q in ring
 // order — the re-steer target for a dead queue's flows. If every queue
-// is offline it returns q unchanged (the server never lets the last
-// core die, so this is defensive only).
+// is offline (a total NIC outage: the node itself crashed) it returns
+// q unchanged, and dmaLand fails the landing packet into the ledger
+// with an explicit outage reason instead of accepting it into a dead
+// ring.
 func (n *NIC) NextOnlineQueue(q int) int {
 	for i := 0; i < n.cfg.Queues; i++ {
 		c := (q + i) % n.cfg.Queues
@@ -285,6 +292,20 @@ func (n *NIC) dmaLand(a any) {
 	p := a.(*Packet)
 	q := n.QueueFor(p.Flow)
 	qu := n.qs[q]
+	if qu.offline {
+		// QueueFor found no re-steer target, which can only mean every
+		// queue is offline — a total NIC outage. The packet cannot land
+		// anywhere; fail it into the ledger explicitly so the client's
+		// recovery machinery (RTO, or a cluster router's resteer) sees
+		// honest loss, never a silent disappearance.
+		qu.outageFails++
+		n.aud.RingOutageFail()
+		if n.OnRxDrop != nil {
+			n.OnRxDrop(p)
+		}
+		n.PutPacket(p)
+		return
+	}
 	if len(qu.ring) >= n.cfg.RingSize {
 		qu.drops++
 		n.aud.RingDrop()
@@ -521,6 +542,16 @@ func (n *NIC) TotalCrashFails() uint64 {
 	var s uint64
 	for i := range n.qs {
 		s += n.qs[i].crashFails
+	}
+	return s
+}
+
+// TotalOutageFails sums the packets failed into the ledger because they
+// arrived during a total NIC outage (every queue offline).
+func (n *NIC) TotalOutageFails() uint64 {
+	var s uint64
+	for i := range n.qs {
+		s += n.qs[i].outageFails
 	}
 	return s
 }

@@ -390,3 +390,60 @@ func TestOfflineQueueFailsRingAndResteersDMA(t *testing.T) {
 		t.Fatalf("recovered queue got %d packets, want 1", n.QueueLen(1))
 	}
 }
+
+// Total NIC outage: when the LAST online queue goes down there is no
+// re-steer target left — NextOnlineQueue reports the dead queue itself
+// and deliveries fail into the ledger with the explicit outage reason
+// (never masquerading as ring overflow or a dead-ring crash fail, and
+// never stranding in a dead ring). Recovery restores normal landing.
+func TestTotalOutageDeliveries(t *testing.T) {
+	cases := []struct {
+		name string
+		// recoverQ brings one queue back before the delivery wave
+		// (-1 = the NIC stays dark).
+		recoverQ   int
+		wantOutage uint64
+		wantLanded int
+	}{
+		{"last-queue-crash", -1, 3, 0},
+		{"crash-then-recover", 1, 0, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, n := testNIC(2)
+			n.SetHandler(0, func() {})
+			n.SetHandler(1, func() {})
+			dropped := 0
+			n.OnRxDrop = func(p *Packet) { dropped++ }
+			n.OfflineQueue(0)
+			n.OfflineQueue(1) // the last queue: total outage
+			if got := n.NextOnlineQueue(1); got != 1 {
+				t.Fatalf("NextOnlineQueue during total outage = %d, want the dead queue itself", got)
+			}
+			if tc.recoverQ >= 0 {
+				n.OnlineQueue(tc.recoverQ)
+			}
+			for i := 0; i < 3; i++ {
+				n.Deliver(&Packet{ID: uint64(i), Flow: uint64(i)})
+			}
+			eng.RunAll()
+			if got := n.TotalOutageFails(); got != tc.wantOutage {
+				t.Fatalf("outage fails = %d, want %d", got, tc.wantOutage)
+			}
+			if landed := n.QueueLen(0) + n.QueueLen(1); landed != tc.wantLanded {
+				t.Fatalf("landed = %d, want %d", landed, tc.wantLanded)
+			}
+			if tc.wantOutage > 0 {
+				// The ledger hook must fire for every refused packet, and the
+				// reason must be the outage counter alone.
+				if dropped != int(tc.wantOutage) {
+					t.Fatalf("OnRxDrop fired %d times, want %d", dropped, tc.wantOutage)
+				}
+				if n.TotalDrops() != 0 || n.TotalCrashFails() != 0 {
+					t.Fatalf("outage misfiled as overflow (%d) or crash fail (%d)",
+						n.TotalDrops(), n.TotalCrashFails())
+				}
+			}
+		})
+	}
+}

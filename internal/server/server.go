@@ -343,6 +343,12 @@ type Server struct {
 	// request record is recycled as soon as the hook returns, so
 	// observers must copy anything they need rather than retain r.
 	OnDone func(r *workload.Request)
+	// OnFail observes every request that terminally fails (TimedOut,
+	// Lost, or Shed), fired after the ledger is settled and before the
+	// record is recycled — the cluster router's resteer point. Like
+	// OnDone, observers must copy what they need; the record is gone
+	// when the hook returns. nil (the default) costs one branch.
+	OnFail func(r *workload.Request)
 
 	policy   Policy
 	idlePol  kernel.IdlePolicy
@@ -350,8 +356,11 @@ type Server struct {
 
 	// Allocation-free plumbing: the request pool and the callbacks the
 	// per-request path schedules against (bound once here instead of
-	// closed over per packet).
-	reqPool   workload.RequestPool
+	// closed over per packet). The pool is a pointer so a cluster can
+	// point every node at the front-end's free list (SharePool): a
+	// request issued by node 0's generator and resteered to node 3 is
+	// recycled wherever it terminates.
+	reqPool   *workload.RequestPool
 	deliverFn func(any)
 	respFn    func(any)
 	txDoneFn  func(*nic.Packet)
@@ -379,6 +388,19 @@ type Server struct {
 	// a queueing-delay estimate.
 	shedBudgetNs   float64
 	shedCostCycles float64
+
+	// Node-level failure domain (driven by a cluster's nodecrash /
+	// nodeslow faults, never by the per-core injector). While nodeDown
+	// is set the whole assembly is hard-failed: every core is offline,
+	// every queue torn down, and per-core recovery events are refused —
+	// the node-level fault owns the machine until RecoverNode.
+	// nodeOfflines/nodeOnlines count the per-core transitions CrashNode/
+	// RecoverNode drove, so the auditor's offline-mirror cross-checks
+	// still balance when the injector's own CoreCrashes counter was not
+	// involved.
+	nodeDown                  bool
+	nodeSlow                  bool
+	nodeOfflines, nodeOnlines uint64
 }
 
 // failureAware is the optional policy extension the server notifies
@@ -393,11 +415,19 @@ type failureAware interface {
 	CoreAdopted(core int)
 }
 
-// New assembles a server. The idle policy applies to every core; pass
-// nil for always-CC0.
+// New assembles a server on its own fresh engine. The idle policy
+// applies to every core; pass nil for always-CC0.
 func New(cfg Config, idle kernel.IdlePolicy) *Server {
+	return NewOnEngine(cfg, idle, sim.NewEngine())
+}
+
+// NewOnEngine assembles a server on a caller-supplied engine — the seam
+// the cluster assembly uses to put every node's physics on one calendar
+// queue. Construction order (and therefore every PRNG fork) is
+// identical to New, so a single node built this way is byte-identical
+// to a plain New server with the same config.
+func NewOnEngine(cfg Config, idle kernel.IdlePolicy, eng *sim.Engine) *Server {
 	cfg = cfg.withDefaults()
-	eng := sim.NewEngine()
 	rng := sim.NewRNG(cfg.Seed)
 	s := &Server{
 		Cfg:     cfg,
@@ -422,6 +452,7 @@ func New(cfg Config, idle kernel.IdlePolicy) *Server {
 	}
 	ncfg.HashRSS = cfg.LumpyRSS
 	s.NIC = nic.New(ncfg, eng, rng.Uint64())
+	s.reqPool = &workload.RequestPool{}
 	if cfg.DisablePooling {
 		s.NIC.DisablePooling()
 		s.reqPool.Disable()
@@ -479,7 +510,7 @@ func New(cfg Config, idle kernel.IdlePolicy) *Server {
 		VariableLevels:  cfg.VariableLevels,
 		SwitchPeriod:    cfg.SwitchPeriod,
 		Deliver:         s.ingress,
-		Pool:            &s.reqPool,
+		Pool:            s.reqPool,
 		DisableBatching: cfg.DisablePooling,
 	}
 	return s
@@ -554,6 +585,9 @@ func (s *Server) ingress(r *workload.Request) {
 		s.acct.Shed++
 		s.live--
 		s.aud.ShedReq()
+		if s.OnFail != nil {
+			s.OnFail(r)
+		}
 		s.maybeRecycle(r)
 		return
 	}
@@ -616,6 +650,9 @@ func (s *Server) onTimeout(a any) {
 		r.TimedOut = true
 		s.acct.TimedOut++
 		s.live--
+		if s.OnFail != nil {
+			s.OnFail(r)
+		}
 		s.maybeRecycle(r)
 		return
 	}
@@ -641,6 +678,9 @@ func (s *Server) dropCopy(r *workload.Request) {
 		r.Lost = true
 		s.acct.Lost++
 		s.live--
+		if s.OnFail != nil {
+			s.OnFail(r)
+		}
 	}
 	s.maybeRecycle(r)
 }
@@ -712,6 +752,17 @@ func (s *Server) respond(a any) {
 // Start arms the kernels, the policy and the generator without running
 // the clock (used by experiments that drive the engine manually).
 func (s *Server) Start() {
+	s.StartNode()
+	s.Gen.Start()
+}
+
+// StartNode arms everything except the traffic generator: kernels,
+// policy, and the per-core fault schedule. A cluster starts every node
+// this way and then starts exactly one generator (node 0's, rewired
+// through the router), so the offered load is generated once for the
+// whole fleet. Node-level faults (nodecrash/nodeslow) are never armed
+// here — they belong to the cluster, which owns the node lifecycle.
+func (s *Server) StartNode() {
 	for _, k := range s.Kernels {
 		k.Start()
 	}
@@ -727,7 +778,6 @@ func (s *Server) Start() {
 	}
 	s.inj.StartThrottler(s.Eng, s.Cfg.Model.NumCores, pstate, s.Proc.Throttle, s.Proc.Unthrottle)
 	s.inj.StartHardFaults(s.Eng, s.crashCore, s.recoverCore, s.stallQueue, s.unstallQueue)
-	s.Gen.Start()
 }
 
 // crashCore hard-fails one core end to end: the kernel settles (in-
@@ -764,10 +814,16 @@ func (s *Server) crashCore(core int) bool {
 // (cold caches — the CC6 flush penalty applies), the kernel re-enters
 // its idle loop, the RSS table steers the core's flows home again, and
 // a failure-aware policy restarts its mode decision with fresh
-// counters.
-func (s *Server) recoverCore(core int) {
+// counters. Returns whether the core actually came back: a core that a
+// node-level crash swept up (or that RecoverNode already restored) is
+// not this event's to recover, and the injector only counts recoveries
+// that took effect.
+func (s *Server) recoverCore(core int) bool {
 	if core < 0 || core >= len(s.Kernels) || !s.Proc.IsOffline(core) {
-		return
+		return false
+	}
+	if s.nodeDown {
+		return false
 	}
 	s.Proc.Online(core)
 	s.Kernels[core].Recover()
@@ -775,6 +831,7 @@ func (s *Server) recoverCore(core int) {
 	if fa, ok := s.policy.(failureAware); ok {
 		fa.CoreOnline(core)
 	}
+	return true
 }
 
 // stallQueue wedges one Rx ring (the queuestall hard fault).
@@ -791,6 +848,115 @@ func (s *Server) unstallQueue(q int) {
 		return
 	}
 	s.NIC.UnstallQueue(q)
+}
+
+// CrashNode hard-fails the whole assembly — the node-level failure
+// domain a cluster's nodecrash fault drives. Every online core goes
+// through the full crash choreography, but unlike a core crash there
+// is no survivor to adopt the stranded socket backlogs: they fail into
+// the ledger on the spot (kernel.AbandonBacklog), and packets still
+// riding the network land on an all-queues-offline NIC, which fails
+// them with an explicit outage reason. Reports false when the node is
+// already down.
+func (s *Server) CrashNode() bool {
+	if s.nodeDown {
+		return false
+	}
+	s.nodeDown = true
+	fa, aware := s.policy.(failureAware)
+	for core := range s.Kernels {
+		if s.Proc.IsOffline(core) {
+			continue
+		}
+		stranded := s.Kernels[core].Crash()
+		s.Kernels[core].AbandonBacklog(stranded)
+		s.NIC.OfflineQueue(core)
+		s.Proc.Offline(core)
+		if aware {
+			fa.CoreOffline(core)
+		}
+		s.nodeOfflines++
+	}
+	return true
+}
+
+// RecoverNode reboots a crashed node: every offline core comes back
+// (including any that a per-core crash had taken down before the node
+// died — a reboot restores the whole machine). Reports false when the
+// node is not down.
+func (s *Server) RecoverNode() bool {
+	if !s.nodeDown {
+		return false
+	}
+	s.nodeDown = false
+	fa, aware := s.policy.(failureAware)
+	for core := range s.Kernels {
+		if !s.Proc.IsOffline(core) {
+			continue
+		}
+		s.Proc.Online(core)
+		s.Kernels[core].Recover()
+		s.NIC.OnlineQueue(core)
+		if aware {
+			fa.CoreOnline(core)
+		}
+		s.nodeOnlines++
+	}
+	return true
+}
+
+// NodeDown reports whether a node-level crash currently holds the
+// assembly offline — the cluster health prober's probe target.
+func (s *Server) NodeDown() bool { return s.nodeDown }
+
+// SlowNode clamps every core to the slowest P-state whose frequency
+// ratio to P0 still covers factor (a nodeslow fault: thermal event,
+// noisy neighbour, failed fan). The clamp rides the same single-slot
+// per-core mechanism as the throttle fault — last writer wins, which
+// matches how a BIOS-level clamp and a transient throttle would fight
+// on real hardware. Reports false when the node is already slowed or
+// down.
+func (s *Server) SlowNode(factor float64) bool {
+	if s.nodeSlow || s.nodeDown {
+		return false
+	}
+	s.nodeSlow = true
+	m := s.Cfg.Model
+	p := m.MaxP()
+	for i := 1; i <= m.MaxP(); i++ {
+		if m.FreqAt(0)/m.FreqAt(i) >= factor {
+			p = i
+			break
+		}
+	}
+	for core := range s.Kernels {
+		s.Proc.Throttle(core, p)
+	}
+	return true
+}
+
+// RestoreSpeed lifts a SlowNode clamp. Reports false when no clamp is
+// in place.
+func (s *Server) RestoreSpeed() bool {
+	if !s.nodeSlow {
+		return false
+	}
+	s.nodeSlow = false
+	for core := range s.Kernels {
+		s.Proc.Unthrottle(core)
+	}
+	return true
+}
+
+// Pool returns the request free list this server recycles into.
+func (s *Server) Pool() *workload.RequestPool { return s.reqPool }
+
+// SharePool points this server (and its generator) at another
+// assembly's request pool, so records issued on one node and resteered
+// to another are recycled wherever they terminate. Call before Start.
+func (s *Server) SharePool(p *workload.RequestPool) {
+	s.reqPool = p
+	s.Gen.Pool = p
 }
 
 // Accounting returns the client ledger as of now, with InFlight filled
@@ -819,13 +985,20 @@ func (s *Server) Auditor() *audit.Auditor { return s.aud }
 func (s *Server) Run() (Result, error) {
 	s.Start()
 	s.Eng.Run(sim.Time(s.Cfg.Warmup))
-	s.measFrom = s.Eng.Now()
-	s.measuring = true
-	s.baseline = s.Proc.PackageEnergyJ()
+	s.BeginMeasurement()
 	end := sim.Time(s.Cfg.Warmup + s.Cfg.Duration)
 	s.Eng.Run(end)
 	res := s.Collect()
 	return res, errors.Join(s.Eng.Err(), res.Audit.Err())
+}
+
+// BeginMeasurement opens the measured window as of now: latencies start
+// recording and the energy baseline is taken. Run calls it at warmup
+// end; a cluster calls it on every node at the same instant.
+func (s *Server) BeginMeasurement() {
+	s.measFrom = s.Eng.Now()
+	s.measuring = true
+	s.baseline = s.Proc.PackageEnergyJ()
 }
 
 // Collect summarises the measured window (Run calls it; experiments that
@@ -905,9 +1078,13 @@ func (s *Server) Collect() Result {
 			kcf += k.Counters().CrashFails
 		}
 		final.KernelCrashFails = kcf
+		final.NICOutageFails = s.NIC.TotalOutageFails()
 		final.OfflineCores = uint64(s.Proc.OfflineCount())
-		final.CoreCrashes = res.Faults.CoreCrashes
-		final.CoreRecoveries = res.Faults.CoreRecoveries
+		// Node-level crashes drive per-core offline/online transitions
+		// outside the injector's own counters; fold them in so the
+		// auditor's offline-mirror identities balance either way.
+		final.CoreCrashes = res.Faults.CoreCrashes + s.nodeOfflines
+		final.CoreRecoveries = res.Faults.CoreRecoveries + s.nodeOnlines
 		final.PackageEnergyJ = energy + s.baseline
 		final.BaselineEnergyJ = s.baseline
 		for q := 0; q < s.Cfg.Model.NumCores; q++ {
