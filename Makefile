@@ -11,9 +11,9 @@ GO ?= go
 PGO = default.pgo
 PGOFLAG = $(if $(wildcard $(PGO)),-pgo=$(PGO),)
 
-.PHONY: ci vet govulncheck build test race bench bench-compare fault-smoke failover-smoke cluster-smoke determinism-gate fuzz-smoke checkpoint-smoke chaos-smoke pgo pgo-smoke pgo-bench profile clean
+.PHONY: ci vet govulncheck build test race bench bench-compare fault-smoke failover-smoke cluster-smoke gray-smoke determinism-gate fuzz-smoke checkpoint-smoke chaos-smoke pgo pgo-smoke pgo-bench profile clean
 
-ci: vet govulncheck build race fault-smoke failover-smoke cluster-smoke determinism-gate fuzz-smoke checkpoint-smoke chaos-smoke pgo-smoke bench-compare bench
+ci: vet govulncheck build race fault-smoke failover-smoke cluster-smoke gray-smoke determinism-gate fuzz-smoke checkpoint-smoke chaos-smoke pgo-smoke bench-compare bench
 
 # Fault-injection smoke matrix: the loss/retry/throttle/watchdog paths
 # run under the race detector, then one figure regenerates end to end
@@ -59,6 +59,26 @@ cluster-smoke:
 	cmp .cluster-a.txt .cluster-b.txt
 	$(GO) test -count=1 -run TestSingleNodeClusterByteIdentical ./internal/cluster/
 	rm -f .cluster-nmapsim .cluster-a.txt .cluster-b.txt
+
+# Gray-failure gate: the interconnect fabric, link fault family
+# (partition/linkslow/linkloss), flap-damped prober and hedged front end
+# run under the race detector across every layer they touch; the
+# gray-failure figure then regenerates twice with the auditor on and
+# must render identical bytes (per-link jitter, seeded drops and hedge
+# timers are all replay-stable); and the zero-cost contract holds: a
+# fabric armed only by past-horizon link faults must stay byte-identical
+# to no fabric at all, as must a 1-node cluster to a plain server.
+gray-smoke:
+	$(GO) test -race -count=1 \
+		-run 'GrayFail|Partition|LinkSlow|LinkLoss|LinkFault|Hedge|Flap|Fabric|Probation|OneWay|CheckCluster|SeedCorpusClean|Fleet' \
+		./internal/cluster/ ./internal/faults/ ./internal/audit/ \
+		./internal/experiments/ ./internal/fuzzer/
+	$(GO) build -o .gray-nmapsim ./cmd/nmapsim
+	./.gray-nmapsim -quick -audit -nodes 3 fig-grayfail > .gray-a.txt
+	./.gray-nmapsim -quick -audit -nodes 3 fig-grayfail > .gray-b.txt
+	cmp .gray-a.txt .gray-b.txt
+	$(GO) test -count=1 -run 'TestLinkFaultPastHorizonByteIdentical|TestSingleNodeClusterByteIdentical' ./internal/cluster/
+	rm -f .gray-nmapsim .gray-a.txt .gray-b.txt
 
 # Determinism gate: the same faulted configuration must render the same
 # bytes twice — fault schedule, retransmissions, and physics included —

@@ -9,14 +9,18 @@
 //	nmapsim -list
 //
 // Experiments: fig2 fig3 fig4 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// fig14 fig15 fig16 fig-resilience fig-cluster table1 table2
-// ablation-perrequest ablation-thresholds ablation-chipwide all
+// fig14 fig15 fig16 fig-resilience fig-cluster fig-grayfail table1
+// table2 ablation-perrequest ablation-thresholds ablation-chipwide all
 //
 // fig-cluster simulates a fleet of NMAP nodes behind a health-checked
-// router (-nodes, -route). Node-level faults come from the same -faults
-// spec as everything else, e.g. -faults nodecrash=1@250ms:100ms; an
-// interrupt (Ctrl-C) mid-run renders the partial figure — every node's
-// results so far, in input order — before exiting non-zero.
+// router (-nodes, -route, -hedge). Node-level faults come from the same
+// -faults spec as everything else, e.g. -faults nodecrash=1@250ms:100ms
+// or partition=fe|1@250ms:100ms,linkslow=1@100ms:50ms:8; an interrupt
+// (Ctrl-C) mid-run renders the partial figure — every node's results so
+// far, in input order — before exiting non-zero. fig-grayfail degrades
+// one node's link (slow-downs, a one-way cut, a lossy window) and
+// compares naive, flap-damped, and hedged front ends over the modeled
+// interconnect.
 package main
 
 import (
@@ -57,6 +61,8 @@ var nodes = flag.Int("nodes", 4,
 	"fig-cluster: number of NMAP nodes in the fleet")
 var route = flag.String("route", "rr",
 	"fig-cluster: routing policy — rr, least, weighted, flow")
+var hedge = flag.Bool("hedge", false,
+	"fig-cluster: arm tail-latency request hedging at the front end")
 
 type experiment struct {
 	name, desc string
@@ -139,7 +145,8 @@ var catalog = []experiment{
 		fmt.Println(experiments.RenderResilience(fig))
 		return nil
 	}},
-	{"fig-cluster", "fleet P99 + energy + offline-node timeline through a node crash (-nodes, -route)", runFigCluster},
+	{"fig-cluster", "fleet P99 + energy + offline-node timeline through a node crash (-nodes, -route, -hedge)", runFigCluster},
+	{"fig-grayfail", "gray link faults: naive vs flap-damped vs hedged front end (-nodes, -route)", runFigGrayFail},
 	{"ablation-perrequest", "per-request DVFS vs NMAP under re-transition latency (5.1)",
 		runAblation("Ablation: per-request DVFS pays the re-transition latency",
 			experiments.AblationPerRequest)},
@@ -194,9 +201,21 @@ func runAblation(title string, fn func(experiments.Quality) ([]experiments.Ablat
 func runFigCluster(q experiments.Quality) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fig, err := experiments.FigClusterCtx(ctx, q, *nodes, *route)
+	fig, err := experiments.FigClusterCtx(ctx, q, *nodes, *route, *hedge)
 	if len(fig.Arms) > 0 {
 		fmt.Println(experiments.RenderCluster(fig))
+	}
+	return err
+}
+
+// runFigGrayFail runs the gray-failure experiment under the same
+// interruptible context discipline as fig-cluster.
+func runFigGrayFail(q experiments.Quality) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fig, err := experiments.FigGrayFailCtx(ctx, q, *nodes, *route)
+	if len(fig.Arms) > 0 {
+		fmt.Println(experiments.RenderGrayFail(fig))
 	}
 	return err
 }

@@ -8,20 +8,30 @@ import (
 )
 
 // consistentClusterFinal builds a ledger snapshot satisfying all five
-// cluster identities: 100 issued, 2 refused during a total outage, 4
-// resteers redispatching node failures, 3 front-end failures.
+// cluster identities with every extension term live: 100 issued, 2
+// refused during a total outage, 4 resteers, 5 hedges (2 duplicate
+// completions, 1 absorbed duplicate failure), 3 front-end failures, and
+// a perturbed interconnect (3 requests and 2 responses dropped by cut
+// or lossy legs, 1 copy in transit each way at the snapshot).
 func consistentClusterFinal() ClusterFinal {
 	return ClusterFinal{
-		FrontIssued:     100,
-		FrontCompleted:  90,
-		FrontFailed:     3,
-		FrontUnroutable: 2,
-		FrontInFlight:   5,
-		Resteers:        4,
-		NodeIssued:      []uint64{52, 50}, // 100 - 2 unroutable + 4 resteers
-		NodeCompleted:   []uint64{45, 45},
-		NodeFailed:      []uint64{4, 3}, // 4 resteered + 3 terminal
-		NodeInFlight:    []uint64{3, 2},
+		FrontIssued:       100,
+		FrontCompleted:    85,
+		FrontFailed:       3,
+		FrontUnroutable:   2,
+		FrontInFlight:     10,
+		Resteers:          4,
+		Hedges:            5,
+		HedgeDupDone:      2,
+		HedgeDupFail:      1,
+		FabricReqLost:     3,
+		FabricRespLost:    2,
+		FabricReqTransit:  1,
+		FabricRespTransit: 1,
+		NodeIssued:        []uint64{53, 50}, // 100 - 2 unroutable + 4 resteers + 5 hedges - 3 dropped - 1 in transit
+		NodeCompleted:     []uint64{45, 45}, // 85 won + 2 hedge dups + 2 orphaned + 1 in transit
+		NodeFailed:        []uint64{5, 3},   // 4 resteered + 3 terminal + 1 absorbed dup
+		NodeInFlight:      []uint64{3, 2},
 	}
 }
 
@@ -47,15 +57,23 @@ func TestCheckClusterViolations(t *testing.T) {
 		wantSub string
 	}{
 		{"lost in hand-off", func(f *ClusterFinal) { f.NodeIssued[0]-- },
-			"node issued + unroutable != front issued + resteers"},
+			"node issued + unroutable + link-dropped + in-transit != front issued + resteers + hedges"},
 		{"front ledger torn", func(f *ClusterFinal) { f.FrontCompleted++; f.NodeCompleted[0]++ },
 			"front issued != completed"},
 		{"completion double-counted", func(f *ClusterFinal) { f.NodeCompleted[1]++ },
-			"node completed != front completed"},
+			"node completed != front completed + hedge dups + link-dropped + in-transit responses"},
 		{"failure vanished", func(f *ClusterFinal) { f.NodeFailed[0]-- },
-			"node failures != resteers + front failed"},
+			"node failures != resteers + front failed + hedge dup failures"},
 		{"liveness skew", func(f *ClusterFinal) { f.NodeInFlight[0]++ },
-			"node in-flight != front in-flight"},
+			"node in-flight + in-transit + link-dropped + hedge dups != front in-flight + hedges"},
+		{"orphan vanished", func(f *ClusterFinal) { f.FabricRespLost-- },
+			"node completed != front completed + hedge dups + link-dropped + in-transit responses"},
+		{"hedge dup failure uncounted", func(f *ClusterFinal) { f.HedgeDupFail-- },
+			"node failures != resteers + front failed + hedge dup failures"},
+		{"in-flight-at-partition leak", func(f *ClusterFinal) { f.FabricReqTransit-- },
+			"node issued + unroutable + link-dropped + in-transit != front issued + resteers + hedges"},
+		{"hedge unaccounted", func(f *ClusterFinal) { f.Hedges-- },
+			"node issued + unroutable + link-dropped + in-transit != front issued + resteers + hedges"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

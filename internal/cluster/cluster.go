@@ -55,6 +55,15 @@ type Config struct {
 	// Its Faults.NodeCrashes/NodeSlows schedule the cluster's node-level
 	// faults; the per-core fault classes are armed on every node.
 	Node server.Config
+	// Fabric models the front-end↔node interconnect (propagation delay,
+	// bounded queueing, seeded jitter). The zero value keeps the
+	// zero-cost direct-call front end, byte-identical to a build without
+	// the model; scheduling a link fault in Node.Faults arms the fabric
+	// machinery even at zero configured cost.
+	Fabric FabricConfig
+	// Hedge arms tail-latency hedged requests in the router. The zero
+	// value keeps the single-copy router.
+	Hedge HedgeConfig
 	// FleetPowerCapW, when positive, arms the fleet power-cap
 	// coordinator: a deterministic controller that measures fleet power
 	// every CapPeriod and clamps all nodes' cores one P-state further
@@ -75,6 +84,20 @@ type HealthConfig struct {
 	// HalfOpenSuccess is how many completions a half-open (recovering)
 	// node must serve before it is fully up again (default 1).
 	HalfOpenSuccess int
+	// ProbeTimeout, when positive, makes a probe fail when the fabric's
+	// deterministic one-way delay estimate for the node's link exceeds
+	// it (and always when the link is cut) — gray link degradation then
+	// looks exactly like node unhealth to the prober. Zero (the
+	// default) keeps probes node-state-only.
+	ProbeTimeout sim.Duration
+	// FlapHold, when positive, arms flap damping: after each mark-down
+	// the node is held out of rotation for the current hold-off even
+	// once probes pass again, and the hold-off doubles on every
+	// successive mark-down (capped at FlapMaxHold, never decaying
+	// within a run). Zero disables damping — the naive prober.
+	FlapHold sim.Duration
+	// FlapMaxHold caps the exponential hold-off (default 16×FlapHold).
+	FlapMaxHold sim.Duration
 }
 
 func (h HealthConfig) withDefaults() HealthConfig {
@@ -86,6 +109,9 @@ func (h HealthConfig) withDefaults() HealthConfig {
 	}
 	if h.HalfOpenSuccess == 0 {
 		h.HalfOpenSuccess = 1
+	}
+	if h.FlapHold > 0 && h.FlapMaxHold == 0 {
+		h.FlapMaxHold = 16 * h.FlapHold
 	}
 	return h
 }
@@ -132,6 +158,14 @@ type Accounting struct {
 	Unroutable uint64
 	// Resteers counts node-failure resubmissions the router dispatched.
 	Resteers uint64
+	// Hedges counts duplicate (hedge) copies the router dispatched.
+	Hedges uint64
+	// HedgeDupDone / HedgeDupFail count losing hedge copies whose
+	// completion (or node-side failure) arrived after the request had
+	// already settled — or, for failures, while another copy was still
+	// believed in flight. Absorbed, never double-settled, and part of
+	// the cluster conservation identities.
+	HedgeDupDone, HedgeDupFail uint64
 	// InFlight counts requests still live when the snapshot was taken.
 	InFlight uint64
 }
@@ -162,6 +196,9 @@ type Result struct {
 	Nodes []server.Result
 	// Faults counts the node-level faults actually injected.
 	Faults faults.Stats
+	// Fabric is the interconnect ledger (all zero when the fabric is
+	// off or never perturbed).
+	Fabric FabricStats
 	// MarkDowns / MarkUps count health-prober node transitions.
 	MarkDowns, MarkUps uint64
 	// CapInterventions counts fleet power-cap tightening steps (zero
@@ -182,6 +219,7 @@ type Cluster struct {
 	health *health
 	cap    *powerCap
 	inj    *faults.Injector
+	fabric *fabric
 	hist   *stats.Hist
 
 	measuring bool
@@ -227,14 +265,39 @@ func New(cfg Config, setup NodeSetup) (*Cluster, error) {
 	for _, n := range c.Nodes[1:] {
 		n.Srv.SharePool(c.Nodes[0].Srv.Pool())
 	}
+	// The fabric machinery is armed only when the model adds cost or a
+	// link fault is scheduled; otherwise the pointer stays nil and the
+	// front end keeps the zero-cost direct-call path.
+	if cfg.Fabric.Enabled() || cfg.Node.Faults.LinkFaults() {
+		c.fabric = newFabric(c, cfg.Fabric)
+	}
+	if cfg.Hedge.Enabled {
+		// Hedge defaults are SLO-relative, resolved against the built
+		// node config (the profile default lives in the server assembly).
+		slo := c.Nodes[0].Srv.Cfg.Profile.SLO
+		if c.Cfg.Hedge.Quantile == 0 {
+			c.Cfg.Hedge.Quantile = 0.95
+		}
+		if c.Cfg.Hedge.Min == 0 {
+			c.Cfg.Hedge.Min = slo / 2
+		}
+		if c.Cfg.Hedge.Max == 0 {
+			c.Cfg.Hedge.Max = 4 * slo
+		}
+	}
 	c.router = newRouter(c)
 	c.health = newHealth(c)
 	if cfg.FleetPowerCapW > 0 {
 		c.cap = &powerCap{c: c, capW: cfg.FleetPowerCapW}
 	}
-	// The cluster arms only the node-level fault classes; each node's
-	// own injector arms the per-core classes, so nothing is armed twice.
-	if nf := (faults.Config{NodeCrashes: cfg.Node.Faults.NodeCrashes, NodeSlows: cfg.Node.Faults.NodeSlows}); nf.Enabled() {
+	// The cluster arms only the node- and link-level fault classes; each
+	// node's own injector arms the per-core classes, so nothing is armed
+	// twice.
+	if nf := (faults.Config{
+		NodeCrashes: cfg.Node.Faults.NodeCrashes, NodeSlows: cfg.Node.Faults.NodeSlows,
+		Partitions: cfg.Node.Faults.Partitions, LinkSlows: cfg.Node.Faults.LinkSlows,
+		LinkLosses: cfg.Node.Faults.LinkLosses,
+	}); nf.Enabled() {
 		c.inj = faults.New(nf, sim.NewRNG(cfg.Node.Seed^0x9e3779b97f4a7c15))
 	}
 	// The front end is node 0's generator rewired through the router:
@@ -286,8 +349,23 @@ func validate(cfg Config) error {
 	if cfg.FleetPowerCapW < 0 {
 		return fmt.Errorf("cluster: negative fleet power cap %g W", cfg.FleetPowerCapW)
 	}
-	if cfg.Health.ProbeEvery < 0 || cfg.Health.MarkDownAfter < 0 || cfg.Health.HalfOpenSuccess < 0 {
+	if cfg.Health.ProbeEvery < 0 || cfg.Health.MarkDownAfter < 0 || cfg.Health.HalfOpenSuccess < 0 ||
+		cfg.Health.ProbeTimeout < 0 || cfg.Health.FlapHold < 0 || cfg.Health.FlapMaxHold < 0 {
 		return fmt.Errorf("cluster: negative health parameter in %+v", cfg.Health)
+	}
+	if cfg.Fabric.Base < 0 || cfg.Fabric.Serve < 0 || cfg.Fabric.Jitter < 0 || cfg.Fabric.MaxQueue < 0 {
+		return fmt.Errorf("cluster: negative fabric parameter in %+v", cfg.Fabric)
+	}
+	if cfg.Hedge.Enabled {
+		if cfg.Hedge.Quantile < 0 || cfg.Hedge.Quantile >= 1 {
+			return fmt.Errorf("cluster: hedge quantile %g outside [0, 1)", cfg.Hedge.Quantile)
+		}
+		if cfg.Hedge.Min < 0 || cfg.Hedge.Max < 0 {
+			return fmt.Errorf("cluster: negative hedge delay bound in %+v", cfg.Hedge)
+		}
+		if cfg.Hedge.Min > 0 && cfg.Hedge.Max > 0 && cfg.Hedge.Min > cfg.Hedge.Max {
+			return fmt.Errorf("cluster: hedge Min %v exceeds Max %v", cfg.Hedge.Min, cfg.Hedge.Max)
+		}
 	}
 	for _, nc := range cfg.Node.Faults.NodeCrashes {
 		if nc.Node >= cfg.Nodes {
@@ -297,6 +375,21 @@ func validate(cfg Config) error {
 	for _, ns := range cfg.Node.Faults.NodeSlows {
 		if ns.Node >= cfg.Nodes {
 			return fmt.Errorf("cluster: nodeslow node %d out of range for %d nodes", ns.Node, cfg.Nodes)
+		}
+	}
+	for _, p := range cfg.Node.Faults.Partitions {
+		if p.Node >= cfg.Nodes {
+			return fmt.Errorf("cluster: partition node %d out of range for %d nodes", p.Node, cfg.Nodes)
+		}
+	}
+	for _, ls := range cfg.Node.Faults.LinkSlows {
+		if ls.Node >= cfg.Nodes {
+			return fmt.Errorf("cluster: linkslow node %d out of range for %d nodes", ls.Node, cfg.Nodes)
+		}
+	}
+	for _, ll := range cfg.Node.Faults.LinkLosses {
+		if ll.Node >= cfg.Nodes {
+			return fmt.Errorf("cluster: linkloss node %d out of range for %d nodes", ll.Node, cfg.Nodes)
 		}
 	}
 	return cfg.Node.Validate()
@@ -309,6 +402,10 @@ func (c *Cluster) Start() {
 		n.Srv.StartNode()
 	}
 	c.inj.StartNodeFaults(c.Eng, c.crashNode, c.recoverNode, c.slowNode, c.unslowNode)
+	if c.fabric != nil {
+		c.inj.StartLinkFaults(c.Eng, c.fabric.cut, c.fabric.heal,
+			c.fabric.slowLink, c.fabric.unslowLink, c.fabric.lossOn, c.fabric.lossOff)
+	}
 	c.health.start()
 	if c.cap != nil {
 		c.cap.start()
@@ -393,11 +490,33 @@ func (c *Cluster) RoutableNodes() int {
 // that is the trial traffic that closes the circuit).
 func (c *Cluster) routable(i int) bool { return c.health.routable(i) }
 
-// onNodeDone is every node's completion hook: settle the router ledger
-// and record the front-end latency (measured from the request's
-// original Sent instant, resteers included).
+// onNodeDone is every node's completion hook: the response enters the
+// return leg of the fabric (when modeled) or settles at the front end
+// directly. live is decremented here either way — it counts node-side
+// in-flight; copies on the wire are the fabric's in-transit ledger.
 func (c *Cluster) onNodeDone(i int, r *workload.Request) {
 	c.Nodes[i].live--
+	if c.fabric != nil {
+		c.fabric.sendResp(i, r)
+		return
+	}
+	c.settleDone(i, r)
+}
+
+// settleDone is the front end's completion landing — directly from the
+// node hook when the fabric is off, or after the response's return leg
+// when it is on. With hedging armed, only the first copy wins; a losing
+// duplicate is absorbed into the hedge ledger (its latency still feeds
+// the hedge delay tracker, and its node still earns health credit —
+// the response is real). r is valid only for the duration of the call.
+func (c *Cluster) settleDone(i int, r *workload.Request) {
+	if h := c.router.h; h != nil {
+		h.observe(c.Eng.Now(), r)
+		if !h.onCopyDone(r.ID) {
+			c.health.observeSuccess(i)
+			return
+		}
+	}
 	c.router.forget(r.ID)
 	c.router.acct.Completed++
 	c.health.observeSuccess(i)
@@ -410,12 +529,14 @@ func (c *Cluster) onNodeDone(i int, r *workload.Request) {
 }
 
 // onNodeFail is every node's terminal-failure hook — the resteer point.
-// The failed record is about to be recycled by its node, so the router
-// copies what it needs into a fresh record before resubmitting.
+// Failure notifications are front-side state (the client RTO timer
+// lives at the front end conceptually), so they do not traverse the
+// fabric. The failed record is about to be recycled by its node, so the
+// router copies what it needs into a fresh record before resubmitting.
 func (c *Cluster) onNodeFail(i int, r *workload.Request) {
 	c.Nodes[i].live--
 	c.health.observeFailure(i)
-	c.router.resteer(i, r)
+	c.router.copyFailed(i, r)
 }
 
 // crashNode / recoverNode / slowNode / unslowNode adapt the node-fault
@@ -449,6 +570,9 @@ func (c *Cluster) Collect() Result {
 	if c.cap != nil {
 		res.CapInterventions = c.cap.interventions
 	}
+	if c.fabric != nil {
+		res.Fabric = c.fabric.snapshot()
+	}
 	if window > 0 {
 		res.AvgPowerW = energy / window
 	}
@@ -458,12 +582,19 @@ func (c *Cluster) Collect() Result {
 	if scfg.Audit {
 		rep := &audit.Report{}
 		cf := audit.ClusterFinal{
-			FrontIssued:     res.Front.Issued,
-			FrontCompleted:  res.Front.Completed,
-			FrontFailed:     res.Front.Failed,
-			FrontUnroutable: res.Front.Unroutable,
-			FrontInFlight:   res.Front.InFlight,
-			Resteers:        res.Front.Resteers,
+			FrontIssued:       res.Front.Issued,
+			FrontCompleted:    res.Front.Completed,
+			FrontFailed:       res.Front.Failed,
+			FrontUnroutable:   res.Front.Unroutable,
+			FrontInFlight:     res.Front.InFlight,
+			Resteers:          res.Front.Resteers,
+			Hedges:            res.Front.Hedges,
+			HedgeDupDone:      res.Front.HedgeDupDone,
+			HedgeDupFail:      res.Front.HedgeDupFail,
+			FabricReqLost:     res.Fabric.ReqLost,
+			FabricRespLost:    res.Fabric.RespLost,
+			FabricReqTransit:  res.Fabric.ReqInTransit,
+			FabricRespTransit: res.Fabric.RespInTransit,
 		}
 		for _, nr := range res.Nodes {
 			rep.Merge(nr.Audit)

@@ -1,5 +1,7 @@
 package cluster
 
+import "nmapsim/internal/sim"
+
 // nodePhase is a node's health as the router sees it — a three-state
 // circuit breaker driven by the deterministic prober.
 type nodePhase uint8
@@ -16,54 +18,115 @@ const (
 )
 
 // health is the cluster's deterministic health model: a probe tick per
-// interval per node (asking only Srv.NodeDown — no packets, no RNG, no
-// physics), mark-down after MarkDownAfter consecutive failed probes,
-// and half-open recovery requiring HalfOpenSuccess completions before
-// the node counts as fully up. The probe events are physics-neutral:
-// they read node state and touch only router-side bookkeeping, so a
-// fault-free run's physics are byte-identical with the prober on.
+// interval per node (asking only node state and — when the fabric is
+// modeled — the link's deterministic delay estimate: no packets, no
+// RNG, no physics), mark-down after MarkDownAfter consecutive failed
+// probes, and half-open recovery requiring HalfOpenSuccess completions
+// before the node counts as fully up. With FlapHold set, every
+// mark-down also arms an exponentially growing hold-off that keeps the
+// node down even once probes pass again — flap damping, so an
+// oscillating gray link converges to "down" instead of cycling the node
+// in and out of rotation. The probe events are physics-neutral: they
+// read node and fabric state and touch only router-side bookkeeping, so
+// a fault-free run's physics are byte-identical with the prober on.
 type health struct {
 	c     *Cluster
 	cfg   HealthConfig
 	phase []nodePhase
 	// fails counts consecutive failed probes; okRun counts completions
 	// observed while half-open.
-	fails, okRun       []int
+	fails, okRun []int
+	// holdUntil / penalty are the flap-damping state: the instant before
+	// which a marked-down node may not re-enter half-open, and the
+	// current per-node hold-off (doubling on every mark-down, capped at
+	// FlapMaxHold, never decaying within a run).
+	holdUntil          []sim.Time
+	penalty            []sim.Duration
 	markDowns, markUps uint64
 }
 
 func newHealth(c *Cluster) *health {
-	return &health{
+	h := &health{
 		c:     c,
 		cfg:   c.Cfg.Health,
 		phase: make([]nodePhase, c.Cfg.Nodes),
 		fails: make([]int, c.Cfg.Nodes),
 		okRun: make([]int, c.Cfg.Nodes),
 	}
+	if h.cfg.FlapHold > 0 {
+		h.holdUntil = make([]sim.Time, c.Cfg.Nodes)
+		h.penalty = make([]sim.Duration, c.Cfg.Nodes)
+	}
+	return h
 }
 
 func (h *health) start() {
 	h.c.Eng.Ticker(h.cfg.ProbeEvery, h.probe)
 }
 
+// probeFails is one probe's verdict on node i: the node itself is down,
+// the link is cut in either direction (the probe can neither reach nor
+// hear), or — with ProbeTimeout set — the link's current deterministic
+// one-way delay estimate exceeds the timeout (gray degradation looks
+// exactly like unhealth to the prober). Jitter is deliberately excluded
+// from the estimate: probes draw nothing from the fabric's stream.
+func (h *health) probeFails(i int) bool {
+	if h.c.Nodes[i].Srv.NodeDown() {
+		return true
+	}
+	f := h.c.fabric
+	if f == nil {
+		return false
+	}
+	if f.linkCut(i) {
+		return true
+	}
+	return h.cfg.ProbeTimeout > 0 && f.legDelay(i, f.txQ[i]) > h.cfg.ProbeTimeout
+}
+
 // probe examines every node once per interval.
 func (h *health) probe() {
-	for i, n := range h.c.Nodes {
-		if n.Srv.NodeDown() {
+	for i := range h.c.Nodes {
+		if h.probeFails(i) {
 			h.fails[i]++
 			h.okRun[i] = 0
 			if h.phase[i] != phaseDown && h.fails[i] >= h.cfg.MarkDownAfter {
-				h.phase[i] = phaseDown
-				h.markDowns++
+				h.markDown(i)
 			}
 			continue
 		}
 		h.fails[i] = 0
-		if h.phase[i] == phaseDown {
-			// The machine is back: admit trial traffic.
+		if h.phase[i] == phaseDown && h.holdExpired(i) {
+			// The machine (and its link) look healthy and any flap
+			// hold-off has lapsed: admit trial traffic.
 			h.phase[i] = phaseHalfOpen
 		}
 	}
+}
+
+// markDown opens the circuit and, with flap damping armed, doubles the
+// node's hold-off.
+func (h *health) markDown(i int) {
+	h.phase[i] = phaseDown
+	h.okRun[i] = 0
+	h.markDowns++
+	if h.cfg.FlapHold > 0 {
+		p := h.penalty[i] * 2
+		if p < h.cfg.FlapHold {
+			p = h.cfg.FlapHold
+		}
+		if p > h.cfg.FlapMaxHold {
+			p = h.cfg.FlapMaxHold
+		}
+		h.penalty[i] = p
+		h.holdUntil[i] = h.c.Eng.Now() + sim.Time(p)
+	}
+}
+
+// holdExpired reports whether node i's flap hold-off has lapsed (always
+// true with damping off).
+func (h *health) holdExpired(i int) bool {
+	return h.cfg.FlapHold == 0 || h.c.Eng.Now() >= h.holdUntil[i]
 }
 
 // routable is the router's view: everything but Down takes traffic.
@@ -89,7 +152,5 @@ func (h *health) observeFailure(i int) {
 	if h.phase[i] != phaseHalfOpen {
 		return
 	}
-	h.phase[i] = phaseDown
-	h.okRun[i] = 0
-	h.markDowns++
+	h.markDown(i)
 }

@@ -18,6 +18,10 @@ type router struct {
 	// by the failure rate, not the offered load.
 	attempts map[uint64]int
 
+	// h is the tail-latency hedger, nil unless Config.Hedge.Enabled —
+	// the zero-cost contract at the router level.
+	h *hedger
+
 	// rrNext is the round-robin cursor; wcur is the smooth-WRR credit
 	// vector (weighted policy only).
 	rrNext int
@@ -29,7 +33,24 @@ func newRouter(c *Cluster) *router {
 	if c.Cfg.Route == "weighted" {
 		rt.wcur = make([]float64, c.Cfg.Nodes)
 	}
+	if c.Cfg.Hedge.Enabled {
+		rt.h = newHedger(rt, c.Cfg.Hedge)
+	}
 	return rt
+}
+
+// dispatch sends one request copy toward a node: through the fabric
+// when the interconnect is modeled, directly otherwise. Dispatched is
+// stamped per attempt — fresh issue, resteer and hedge copies each get
+// their own timestamp — so per-attempt fabric latency stays measurable
+// while Sent keeps the front-end latency definition.
+func (rt *router) dispatch(node int, r *workload.Request) {
+	r.Dispatched = rt.c.Eng.Now()
+	if f := rt.c.fabric; f != nil {
+		f.sendReq(node, r)
+		return
+	}
+	rt.c.Nodes[node].Inject(r)
 }
 
 // route is the generator's Deliver hook: book the fresh request into
@@ -44,15 +65,29 @@ func (rt *router) route(r *workload.Request) {
 		rt.c.Nodes[0].Srv.Pool().Put(r)
 		return
 	}
-	rt.c.Nodes[node].Inject(r)
+	if rt.h != nil {
+		rt.h.onIssue(r, node)
+	}
+	rt.dispatch(node, r)
 }
 
-// resteer is the node terminal-failure hook: within the retry budget,
-// resubmit a copy of the failed request to another routable node;
-// beyond it (or with nowhere to go) the front end declares the request
-// failed. The failed record is owned by its node and about to be
-// recycled, so the copy is taken before dispatch — and because OnFail
-// fires before the node recycles r, the fresh record can never alias r.
+// copyFailed is the node terminal-failure entry point. With hedging on,
+// a failure may be absorbed: the request already settled through
+// another copy, or another copy is still believed in flight. Otherwise
+// the ordinary resteer-or-fail path decides.
+func (rt *router) copyFailed(from int, r *workload.Request) {
+	if rt.h != nil && rt.h.onCopyFail(r.ID) {
+		return
+	}
+	rt.resteer(from, r)
+}
+
+// resteer: within the retry budget, resubmit a copy of the failed
+// request to another routable node; beyond it (or with nowhere to go)
+// the front end declares the request failed. The failed record is owned
+// by its node and about to be recycled, so the copy is taken before
+// dispatch — and because OnFail fires before the node recycles r, the
+// fresh record can never alias r.
 func (rt *router) resteer(from int, r *workload.Request) {
 	used := rt.attempts[r.ID]
 	if used < rt.c.Cfg.RouteRetries {
@@ -64,12 +99,18 @@ func (rt *router) resteer(from int, r *workload.Request) {
 			nr.Flow = r.Flow
 			nr.Sent = r.Sent // front-end latency spans the resteer
 			nr.AppCycles = r.AppCycles
-			rt.c.Nodes[node].Inject(nr)
+			if rt.h != nil {
+				rt.h.onResteer(r.ID, node)
+			}
+			rt.dispatch(node, nr)
 			return
 		}
 	}
 	delete(rt.attempts, r.ID)
 	rt.acct.Failed++
+	if rt.h != nil {
+		rt.h.onFrontFail(r.ID)
+	}
 }
 
 // forget clears a completed request's retry state.

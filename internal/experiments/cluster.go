@@ -71,8 +71,8 @@ const clusterLoadFrac = 0.7
 const clusterCapFrac = 0.45
 
 // FigCluster runs the fleet scenario to completion (no cancellation).
-func FigCluster(q Quality, nodes int, route string) (ClusterFigure, error) {
-	return FigClusterCtx(context.Background(), q, nodes, route)
+func FigCluster(q Quality, nodes int, route string, hedge bool) (ClusterFigure, error) {
+	return FigClusterCtx(context.Background(), q, nodes, route, hedge)
 }
 
 // FigClusterCtx runs memcached across a cluster of NMAP nodes behind
@@ -81,11 +81,17 @@ func FigCluster(q Quality, nodes int, route string) (ClusterFigure, error) {
 // cluster P99 / resteer / offline-node timeline for two arms: per-node
 // NMAP governors, and per-node ondemand under a fleet power cap.
 //
+// The arms run on the bounded worker pool (each owns its engine and
+// seeded streams, results collected by index), so the rendered figure
+// is byte-identical at any parallelism, like RunSpecs. With hedge set,
+// both arms run with tail-latency request hedging armed.
+//
 // Cancelling ctx checkpoints what is in hand: every finished arm is
-// kept, the in-flight arm is collected as of the abort instant with all
-// its per-node results in input order (Done=false), and ctx.Err() is
-// returned alongside the partial figure.
-func FigClusterCtx(ctx context.Context, q Quality, nodes int, route string) (ClusterFigure, error) {
+// kept, each in-flight arm is collected as of the abort instant with
+// all its per-node results in input order (Done=false), never-started
+// arms are absent, and ctx.Err() is returned alongside the partial
+// figure.
+func FigClusterCtx(ctx context.Context, q Quality, nodes int, route string, hedge bool) (ClusterFigure, error) {
 	if nodes < 1 {
 		return ClusterFigure{}, fmt.Errorf("experiments: fig-cluster needs at least 1 node, got %d", nodes)
 	}
@@ -136,10 +142,20 @@ func FigClusterCtx(ctx context.Context, q Quality, nodes int, route string) (Clu
 		{"nmap-per-node", "nmap", 0},
 		{"ondemand+fleet-cap", "ondemand", fleetCapW},
 	}
-	for _, a := range arms {
+	// The arms fan out over the worker pool; results land by index so the
+	// figure's arm order is the input order at any parallelism. An arm
+	// skipped because ctx was already cancelled when its worker picked it
+	// up is absent from the figure (nothing ran, nothing is fabricated).
+	outs := make([]ClusterArm, len(arms))
+	errs := make([]error, len(arms))
+	started := make([]bool, len(arms))
+	forEach(len(arms), func(i int) {
 		if ctx != nil && ctx.Err() != nil {
-			return fig, ctx.Err()
+			errs[i] = ctx.Err()
+			return
 		}
+		started[i] = true
+		a := arms[i]
 		ccfg := cluster.Config{
 			Nodes:          nodes,
 			Route:          route,
@@ -147,12 +163,21 @@ func FigClusterCtx(ctx context.Context, q Quality, nodes int, route string) (Clu
 			Node:           ncfg,
 			FleetPowerCapW: a.capW,
 		}
-		arm, err := runClusterArm(ctx, ccfg, a.policy, a.name, warm+dur, bucket)
-		fig.Arms = append(fig.Arms, arm)
+		if hedge {
+			ccfg.Hedge = cluster.HedgeConfig{Enabled: true}
+		}
+		outs[i], errs[i] = runClusterArm(ctx, ccfg, a.policy, a.name, warm+dur, bucket)
+	})
+	for i := range arms {
+		if started[i] {
+			fig.Arms = append(fig.Arms, outs[i])
+		}
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return fig, ctx.Err()
+	}
+	for _, err := range errs {
 		if err != nil {
-			if ctx != nil && ctx.Err() != nil {
-				return fig, ctx.Err()
-			}
 			return fig, err
 		}
 	}
@@ -226,29 +251,48 @@ func RenderCluster(fig ClusterFigure) string {
 	}
 	b.WriteString(" ==\n")
 	for _, arm := range fig.Arms {
-		title := fmt.Sprintf("\n-- %s --", arm.Name)
-		if !arm.Done {
-			title += " (partial)"
-		}
-		t := report.NewTable(title, "t(ms)", "done", "p99(ms)", "resteers", "offline-nodes")
-		for _, bk := range arm.Buckets {
-			t.Row(fmt.Sprint(bk.FromMs),
-				fmt.Sprint(bk.Done),
-				fmt.Sprintf("%.3f", bk.P99.Millis()),
-				fmt.Sprint(bk.Resteers),
-				fmt.Sprint(bk.Offline))
-		}
-		b.WriteString(t.String())
-		r := arm.Result
-		fmt.Fprintf(&b, "fleet: p99=%.3fms (SLO %.0fms, violated=%v) energy=%.1fJ power=%.1fW cap-steps=%d\n",
-			r.Summary.P99.Millis(), r.SLO.Millis(), r.Violated, r.EnergyJ, r.AvgPowerW, r.CapInterventions)
-		fmt.Fprintf(&b, "front: issued=%d done=%d failed=%d unroutable=%d resteers=%d markdowns=%d markups=%d\n",
-			r.Front.Issued, r.Front.Completed, r.Front.Failed, r.Front.Unroutable,
-			r.Front.Resteers, r.MarkDowns, r.MarkUps)
-		for i, nr := range r.Nodes {
-			fmt.Fprintf(&b, "  node %d: done=%d p99=%.3fms energy=%.1fJ\n",
-				i, nr.Reqs.Completed, nr.Summary.P99.Millis(), nr.EnergyJ)
-		}
+		renderClusterArm(&b, arm)
 	}
 	return b.String()
+}
+
+// renderClusterArm appends one arm's timeline table and summary footer
+// (shared by RenderCluster and RenderGrayFail, so the two figures keep
+// byte-identical arm bodies).
+func renderClusterArm(b *strings.Builder, arm ClusterArm) {
+	title := fmt.Sprintf("\n-- %s --", arm.Name)
+	if !arm.Done {
+		title += " (partial)"
+	}
+	t := report.NewTable(title, "t(ms)", "done", "p99(ms)", "resteers", "offline-nodes")
+	for _, bk := range arm.Buckets {
+		t.Row(fmt.Sprint(bk.FromMs),
+			fmt.Sprint(bk.Done),
+			fmt.Sprintf("%.3f", bk.P99.Millis()),
+			fmt.Sprint(bk.Resteers),
+			fmt.Sprint(bk.Offline))
+	}
+	b.WriteString(t.String())
+	r := arm.Result
+	fmt.Fprintf(b, "fleet: p99=%.3fms (SLO %.0fms, violated=%v) energy=%.1fJ power=%.1fW cap-steps=%d\n",
+		r.Summary.P99.Millis(), r.SLO.Millis(), r.Violated, r.EnergyJ, r.AvgPowerW, r.CapInterventions)
+	fmt.Fprintf(b, "front: issued=%d done=%d failed=%d unroutable=%d resteers=%d markdowns=%d markups=%d\n",
+		r.Front.Issued, r.Front.Completed, r.Front.Failed, r.Front.Unroutable,
+		r.Front.Resteers, r.MarkDowns, r.MarkUps)
+	if r.Front.Hedges > 0 || r.Front.HedgeDupDone > 0 || r.Front.HedgeDupFail > 0 {
+		fmt.Fprintf(b, "hedge: dispatched=%d dup-done=%d dup-fail=%d\n",
+			r.Front.Hedges, r.Front.HedgeDupDone, r.Front.HedgeDupFail)
+	}
+	if r.Fabric != (cluster.FabricStats{}) {
+		fmt.Fprintf(b, "fabric: req-lost=%d resp-lost=%d req-transit=%d resp-transit=%d\n",
+			r.Fabric.ReqLost, r.Fabric.RespLost, r.Fabric.ReqInTransit, r.Fabric.RespInTransit)
+	}
+	if r.Faults.Partitions+r.Faults.LinkSlows+r.Faults.LinkLosses > 0 {
+		fmt.Fprintf(b, "link-faults: partitions=%d (healed %d) slows=%d lossy-windows=%d\n",
+			r.Faults.Partitions, r.Faults.PartitionHeals, r.Faults.LinkSlows, r.Faults.LinkLosses)
+	}
+	for i, nr := range r.Nodes {
+		fmt.Fprintf(b, "  node %d: done=%d p99=%.3fms energy=%.1fJ\n",
+			i, nr.Reqs.Completed, nr.Summary.P99.Millis(), nr.EnergyJ)
+	}
 }

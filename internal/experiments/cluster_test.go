@@ -13,9 +13,13 @@ import (
 // present in input order, untouched arms are absent, and the figure
 // still renders.
 func TestFigClusterCtxCancelCheckpointsPartial(t *testing.T) {
+	// Pin the worker pool to one so exactly the first arm is in flight
+	// at the deadline regardless of the host's core count.
+	SetParallelism(1)
+	defer SetParallelism(0)
 	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
 	defer cancel()
-	fig, err := FigClusterCtx(ctx, Quick, 3, "rr")
+	fig, err := FigClusterCtx(ctx, Quick, 3, "rr", false)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want the ctx cause", err)
 	}
@@ -40,7 +44,7 @@ func TestFigClusterCtxCancelCheckpointsPartial(t *testing.T) {
 func TestFigClusterCtxPreCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	fig, err := FigClusterCtx(ctx, Quick, 2, "rr")
+	fig, err := FigClusterCtx(ctx, Quick, 2, "rr", false)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -53,11 +57,11 @@ func TestFigClusterCtxPreCancelled(t *testing.T) {
 // identical bytes, and the default scenario actually exercises the
 // resteer path.
 func TestFigClusterDeterministic(t *testing.T) {
-	a, err := FigCluster(Quick, 2, "rr")
+	a, err := FigCluster(Quick, 2, "rr", false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := FigCluster(Quick, 2, "rr")
+	b, err := FigCluster(Quick, 2, "rr", false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -75,6 +75,74 @@ type Config struct {
 	// named node is clamped to the slowest P-state covering the factor
 	// (a thermal event or failed fan at node scale) for the window.
 	NodeSlows []NodeSlow
+	// Partitions schedules interconnect cuts between the cluster front
+	// end and a node — full (both legs) or asymmetric one-way cuts.
+	// Copies in flight on a cut leg are dropped, silently: the front end
+	// only learns through its own probes, hedges and timeouts. Cluster
+	// runs only; like the other scheduled hard faults they draw nothing
+	// from the PRNG.
+	Partitions []Partition
+	// LinkSlows schedules link-degradation windows: every traversal of
+	// the named node's link is stretched by the factor (gray failure —
+	// the node itself stays healthy).
+	LinkSlows []LinkSlow
+	// LinkLosses schedules lossy-link windows: each traversal of the
+	// named node's link is dropped with the given probability, drawn
+	// from the fabric's own side stream.
+	LinkLosses []LinkLoss
+}
+
+// LinkDir selects which leg(s) of a front-end↔node link a partition
+// severs.
+type LinkDir uint8
+
+// The three partition shapes.
+const (
+	// LinkBoth cuts both legs — a full partition of the node.
+	LinkBoth LinkDir = iota
+	// LinkTx cuts the front-end→node leg only: requests blackhole while
+	// responses still flow.
+	LinkTx
+	// LinkRx cuts the node→front-end leg only: the node keeps serving
+	// but the front end never hears — the classic gray failure.
+	LinkRx
+)
+
+// Partition schedules one interconnect cut.
+type Partition struct {
+	// Node is the cluster node whose link is cut.
+	Node int
+	// Dir selects the severed leg(s).
+	Dir LinkDir
+	// At is the simulated instant the cut fires.
+	At sim.Duration
+	// Duration is how long the cut holds; zero means the partition is
+	// permanent for the rest of the run.
+	Duration sim.Duration
+}
+
+// LinkSlow schedules one link-degradation window.
+type LinkSlow struct {
+	// Node is the cluster node whose link degrades.
+	Node int
+	// At is the simulated instant the degradation begins.
+	At sim.Duration
+	// Duration is the degradation window (always bounded).
+	Duration sim.Duration
+	// Factor stretches every traversal's delay. Must be > 1.
+	Factor float64
+}
+
+// LinkLoss schedules one lossy-link window.
+type LinkLoss struct {
+	// Node is the cluster node whose link turns lossy.
+	Node int
+	// At is the simulated instant the loss window begins.
+	At sim.Duration
+	// Duration is the loss window (always bounded).
+	Duration sim.Duration
+	// Prob is the per-traversal drop probability, in (0, 1).
+	Prob float64
 }
 
 // NodeCrash schedules one whole-node hard failure.
@@ -128,7 +196,14 @@ func (c Config) Enabled() bool {
 	return c.WireLossProb > 0 || c.IRQLossProb > 0 ||
 		c.IRQJitter > 0 || c.DMAJitter > 0 || c.ThrottleRate > 0 ||
 		len(c.CoreCrashes) > 0 || len(c.QueueStalls) > 0 ||
-		len(c.NodeCrashes) > 0 || len(c.NodeSlows) > 0
+		len(c.NodeCrashes) > 0 || len(c.NodeSlows) > 0 || c.LinkFaults()
+}
+
+// LinkFaults reports whether any interconnect fault is scheduled; the
+// cluster uses it to decide whether the fabric machinery must be armed
+// even when the fabric model itself is configured at zero cost.
+func (c Config) LinkFaults() bool {
+	return len(c.Partitions) > 0 || len(c.LinkSlows) > 0 || len(c.LinkLosses) > 0
 }
 
 // Validate rejects out-of-range parameters with a descriptive error.
@@ -201,6 +276,48 @@ func (c Config) Validate() error {
 			return fmt.Errorf("faults: nodeslow factor must be > 1, got %g", ns.Factor)
 		}
 	}
+	for _, p := range c.Partitions {
+		if p.Node < 0 {
+			return fmt.Errorf("faults: negative partition node %d", p.Node)
+		}
+		if p.Dir > LinkRx {
+			return fmt.Errorf("faults: unknown partition direction %d", p.Dir)
+		}
+		if p.At < 0 {
+			return fmt.Errorf("faults: negative partition time %v", p.At)
+		}
+		if p.Duration < 0 {
+			return fmt.Errorf("faults: negative partition duration %v", p.Duration)
+		}
+	}
+	for _, ls := range c.LinkSlows {
+		if ls.Node < 0 {
+			return fmt.Errorf("faults: negative linkslow node %d", ls.Node)
+		}
+		if ls.At < 0 {
+			return fmt.Errorf("faults: negative linkslow time %v", ls.At)
+		}
+		if ls.Duration <= 0 {
+			return fmt.Errorf("faults: linkslow needs a positive duration, got %v", ls.Duration)
+		}
+		if ls.Factor <= 1 {
+			return fmt.Errorf("faults: linkslow factor must be > 1, got %g", ls.Factor)
+		}
+	}
+	for _, ll := range c.LinkLosses {
+		if ll.Node < 0 {
+			return fmt.Errorf("faults: negative linkloss node %d", ll.Node)
+		}
+		if ll.At < 0 {
+			return fmt.Errorf("faults: negative linkloss time %v", ll.At)
+		}
+		if ll.Duration <= 0 {
+			return fmt.Errorf("faults: linkloss needs a positive duration, got %v", ll.Duration)
+		}
+		if ll.Prob <= 0 || ll.Prob >= 1 {
+			return fmt.Errorf("faults: linkloss probability %g outside (0, 1)", ll.Prob)
+		}
+	}
 	return nil
 }
 
@@ -228,6 +345,16 @@ type Stats struct {
 	NodeRecoveries uint64
 	// NodeSlows counts node slowdown windows that actually began.
 	NodeSlows uint64
+	// Partitions counts interconnect cuts that actually took effect (a
+	// cut scheduled on an already-severed leg is skipped).
+	Partitions uint64
+	// PartitionHeals counts cuts healed after a timed partition.
+	PartitionHeals uint64
+	// LinkSlows counts link-degradation windows that actually began.
+	LinkSlows uint64
+	// LinkLosses counts lossy-link windows that actually began (the
+	// per-traversal drops themselves are counted by the fabric ledger).
+	LinkLosses uint64
 }
 
 // Injector draws fault decisions for one run. All methods are
@@ -427,6 +554,64 @@ func (i *Injector) StartNodeFaults(eng *sim.Engine, crash func(node int) bool, r
 	}
 }
 
+// StartLinkFaults arms the scheduled interconnect faults on the engine,
+// under the same discipline as the other scheduled hard faults: the
+// schedule is fixed by the configuration and draws nothing from the
+// PRNG (lossy-link drops are drawn per traversal by the fabric, from
+// the fabric's own side stream), so a link fault past the run horizon
+// perturbs no physics stream.
+//
+// cut severs the leg(s) and reports whether any actually went from
+// connected to cut (a cut scheduled entirely on already-severed legs is
+// skipped); heal restores exactly what cut severed. slow stretches the
+// link and reports whether the stretch took (a link already degraded is
+// skipped); unslow lifts it. lossOn arms the per-traversal drop
+// probability and reports whether it took; lossOff disarms it.
+// Heal/unslow/lossOff events are scheduled only when the fault took.
+func (i *Injector) StartLinkFaults(eng *sim.Engine,
+	cut func(node int, dir LinkDir) bool, heal func(node int, dir LinkDir),
+	slow func(node int, factor float64) bool, unslow func(node int),
+	lossOn func(node int, p float64) bool, lossOff func(node int)) {
+	if i == nil {
+		return
+	}
+	for _, p := range i.cfg.Partitions {
+		p := p
+		eng.At(sim.Time(p.At), func() {
+			if !cut(p.Node, p.Dir) {
+				return
+			}
+			i.stats.Partitions++
+			if p.Duration > 0 {
+				eng.Schedule(p.Duration, func() {
+					heal(p.Node, p.Dir)
+					i.stats.PartitionHeals++
+				})
+			}
+		})
+	}
+	for _, ls := range i.cfg.LinkSlows {
+		ls := ls
+		eng.At(sim.Time(ls.At), func() {
+			if !slow(ls.Node, ls.Factor) {
+				return
+			}
+			i.stats.LinkSlows++
+			eng.Schedule(ls.Duration, func() { unslow(ls.Node) })
+		})
+	}
+	for _, ll := range i.cfg.LinkLosses {
+		ll := ll
+		eng.At(sim.Time(ll.At), func() {
+			if !lossOn(ll.Node, ll.Prob) {
+				return
+			}
+			i.stats.LinkLosses++
+			eng.Schedule(ll.Duration, func() { lossOff(ll.Node) })
+		})
+	}
+}
+
 // ParseSpec parses the CLI fault specification: a comma-separated list
 // of key=value settings.
 //
@@ -445,10 +630,21 @@ func (i *Injector) StartNodeFaults(eng *sim.Engine, crash func(node int) bool, r
 //	                      only — a single server ignores it)
 //	nodeslow=NODE@T:D:F   node NODE runs at 1/F of full frequency from
 //	                      time T for duration D (e.g. nodeslow=1@300ms:100ms:2)
+//	partition=A|B@T[:D]   interconnect cut at time T between endpoints A
+//	                      and B, healing after D (without :D the cut is
+//	                      permanent). One endpoint must be the front end,
+//	                      spelled fe: partition=fe|2@300ms cuts only the
+//	                      front→node-2 leg, partition=2|fe@300ms:100ms
+//	                      only node 2's responses, and a bare node number
+//	                      (partition=2@300ms) cuts both legs
+//	linkslow=NODE@T:D:F   every traversal of NODE's link stretches by F
+//	                      from time T for duration D
+//	linkloss=NODE@T:D:P   each traversal of NODE's link drops with
+//	                      probability P from time T for duration D
 //
-// Scalar keys may appear at most once; corecrash, queuestall, nodecrash
-// and nodeslow repeat, one fault per occurrence. An empty spec returns
-// the zero Config.
+// Scalar keys may appear at most once; corecrash, queuestall, nodecrash,
+// nodeslow, partition, linkslow and linkloss repeat, one fault per
+// occurrence. An empty spec returns the zero Config.
 func ParseSpec(spec string) (Config, error) {
 	var c Config
 	spec = strings.TrimSpace(spec)
@@ -464,7 +660,8 @@ func ParseSpec(spec string) (Config, error) {
 		// Hard-fault keys are repeatable (one scheduled fault each);
 		// every scalar knob may be set only once.
 		switch key {
-		case "corecrash", "queuestall", "nodecrash", "nodeslow":
+		case "corecrash", "queuestall", "nodecrash", "nodeslow",
+			"partition", "linkslow", "linkloss":
 		default:
 			if seen[key] {
 				return c, fmt.Errorf("faults: duplicate key %q in %q", key, part)
@@ -491,8 +688,14 @@ func ParseSpec(spec string) (Config, error) {
 			err = c.parseNodeCrash(val)
 		case "nodeslow":
 			err = c.parseNodeSlow(val)
+		case "partition":
+			err = c.parsePartition(val)
+		case "linkslow":
+			err = c.parseLinkSlow(val)
+		case "linkloss":
+			err = c.parseLinkLoss(val)
 		default:
-			return c, fmt.Errorf("faults: unknown key %q (want loss, irqloss, irqjitter, dmajitter, throttle, corecrash, queuestall, nodecrash, nodeslow)", key)
+			return c, fmt.Errorf("faults: unknown key %q (want loss, irqloss, irqjitter, dmajitter, throttle, corecrash, queuestall, nodecrash, nodeslow, partition, linkslow, linkloss)", key)
 		}
 		if err != nil {
 			return c, fmt.Errorf("faults: bad %s value %q: %v", key, val, err)
@@ -656,6 +859,133 @@ func (c *Config) parseNodeSlow(val string) error {
 		return fmt.Errorf("factor must be > 1, got %g", ns.Factor)
 	}
 	c.NodeSlows = append(c.NodeSlows, ns)
+	return nil
+}
+
+// parsePartition parses "A|B@T[:D]" (one endpoint spelled fe for a
+// one-way cut) or "NODE@T[:D]" (both legs) and appends the fault.
+func (c *Config) parsePartition(val string) error {
+	ends, when, ok := strings.Cut(val, "@")
+	if !ok {
+		return fmt.Errorf("want A|B@TIME[:DUR] or NODE@TIME[:DUR]")
+	}
+	p := Partition{Dir: LinkBoth}
+	var nodeStr string
+	if a, b, oneWay := strings.Cut(ends, "|"); oneWay {
+		switch {
+		case a == "fe":
+			p.Dir, nodeStr = LinkTx, b
+		case b == "fe":
+			p.Dir, nodeStr = LinkRx, a
+		default:
+			return fmt.Errorf("one endpoint of %q must be the front end, spelled fe", ends)
+		}
+	} else {
+		nodeStr = ends
+	}
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil {
+		return err
+	}
+	if node < 0 {
+		return fmt.Errorf("negative node %d", node)
+	}
+	p.Node = node
+	atStr, durStr, timed := strings.Cut(when, ":")
+	if p.At, err = parseNonNegDur(atStr); err != nil {
+		return err
+	}
+	if timed {
+		if p.Duration, err = parseDur(durStr); err != nil {
+			return err
+		}
+		if p.Duration <= 0 {
+			return fmt.Errorf("heal duration must be positive, got %v", p.Duration)
+		}
+	}
+	c.Partitions = append(c.Partitions, p)
+	return nil
+}
+
+// parseLinkSlow parses "NODE@T:D:F" and appends the fault.
+func (c *Config) parseLinkSlow(val string) error {
+	nodeStr, when, ok := strings.Cut(val, "@")
+	if !ok {
+		return fmt.Errorf("want NODE@TIME:DUR:FACTOR")
+	}
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil {
+		return err
+	}
+	if node < 0 {
+		return fmt.Errorf("negative node %d", node)
+	}
+	atStr, rest, ok := strings.Cut(when, ":")
+	if !ok {
+		return fmt.Errorf("want NODE@TIME:DUR:FACTOR (the window and factor are mandatory)")
+	}
+	durStr, facStr, ok := strings.Cut(rest, ":")
+	if !ok {
+		return fmt.Errorf("want NODE@TIME:DUR:FACTOR (the factor is mandatory)")
+	}
+	ls := LinkSlow{Node: node}
+	if ls.At, err = parseNonNegDur(atStr); err != nil {
+		return err
+	}
+	if ls.Duration, err = parseDur(durStr); err != nil {
+		return err
+	}
+	if ls.Duration <= 0 {
+		return fmt.Errorf("degradation duration must be positive, got %v", ls.Duration)
+	}
+	if ls.Factor, err = strconv.ParseFloat(facStr, 64); err != nil {
+		return err
+	}
+	if ls.Factor <= 1 {
+		return fmt.Errorf("factor must be > 1, got %g", ls.Factor)
+	}
+	c.LinkSlows = append(c.LinkSlows, ls)
+	return nil
+}
+
+// parseLinkLoss parses "NODE@T:D:P" and appends the fault.
+func (c *Config) parseLinkLoss(val string) error {
+	nodeStr, when, ok := strings.Cut(val, "@")
+	if !ok {
+		return fmt.Errorf("want NODE@TIME:DUR:PROB")
+	}
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil {
+		return err
+	}
+	if node < 0 {
+		return fmt.Errorf("negative node %d", node)
+	}
+	atStr, rest, ok := strings.Cut(when, ":")
+	if !ok {
+		return fmt.Errorf("want NODE@TIME:DUR:PROB (the window and probability are mandatory)")
+	}
+	durStr, probStr, ok := strings.Cut(rest, ":")
+	if !ok {
+		return fmt.Errorf("want NODE@TIME:DUR:PROB (the probability is mandatory)")
+	}
+	ll := LinkLoss{Node: node}
+	if ll.At, err = parseNonNegDur(atStr); err != nil {
+		return err
+	}
+	if ll.Duration, err = parseDur(durStr); err != nil {
+		return err
+	}
+	if ll.Duration <= 0 {
+		return fmt.Errorf("loss-window duration must be positive, got %v", ll.Duration)
+	}
+	if ll.Prob, err = strconv.ParseFloat(probStr, 64); err != nil {
+		return err
+	}
+	if ll.Prob <= 0 || ll.Prob >= 1 {
+		return fmt.Errorf("probability %g outside (0, 1)", ll.Prob)
+	}
+	c.LinkLosses = append(c.LinkLosses, ll)
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"nmapsim/internal/cluster"
 	"nmapsim/internal/sim"
 )
 
@@ -23,6 +24,14 @@ var SeedCorpus = map[string][NumWords]uint64{
 	// by retransmission).
 	"corecrash-cc6":          {19, 3, 7, 2, 0, 0, 0, 0, 0, 0, 15 << 8, 8<<8 | 1<<16 | 2<<24},
 	"queuestall-retry-storm": {23, 3, 3, 0, 2, 1, 6<<8 | 2<<16 | 3<<24, 0, 80, 1 | 4<<8, 15 << 8, 0},
+	// Fleet corners: a hedged 2-node front end whose gray link (x50
+	// slow-down) overlaps a client retry storm over a lossy wire, and a
+	// 3-node fleet with a flap-damped prober riding out a one-way
+	// return-leg partition plus a lossy window on another node.
+	"hedge-under-retry-storm": {29, 3, 3 | 5<<8, 1<<8 | 1<<16, 1 << 8, 1, 0,
+		12<<8 | 4<<16 | 1<<24 | 1<<32, 80, 1 | 4<<8, 15<<8 | 1<<16 | 1<<24, 0},
+	"one-way-cut-flap-damped": {31, 3, 7 | 7<<8, 2 << 16, 2 | 2<<16, 12<<16 | 1<<24 | 6<<32 | 1<<40, 0,
+		0, 0, 8<<16 | 2<<24 | 1<<32 | 2<<40, 30<<8 | 1<<16, 0},
 }
 
 // FuzzAuditInvariants decodes twelve entropy words into a valid server
@@ -77,10 +86,21 @@ func TestSeedCorpusClean(t *testing.T) {
 		sp.WireLossPM == 0 || sp.RTOMs == 0 {
 		t.Fatalf("queuestall-retry-storm corner lost its knobs: %+v", sp)
 	}
+	if sp := FromWords(SeedCorpus["hedge-under-retry-storm"]); sp.Nodes != 2 || !sp.Hedge ||
+		sp.LinkSlowAtMs == 0 || sp.LinkSlowFactor != 50 || sp.WireLossPM == 0 || sp.RTOMs == 0 ||
+		sp.FabricBaseUs == 0 {
+		t.Fatalf("hedge-under-retry-storm corner lost its knobs: %+v", sp)
+	}
+	if sp := FromWords(SeedCorpus["one-way-cut-flap-damped"]); sp.Nodes != 3 || sp.FlapHoldMs == 0 ||
+		sp.PartitionAtMs == 0 || sp.PartitionDir != 2 || sp.LinkLossAtMs == 0 ||
+		sp.RouteRetries == 0 {
+		t.Fatalf("one-way-cut-flap-damped corner lost its knobs: %+v", sp)
+	}
 }
 
 // Property: the word decoder is total — any entropy maps to a Spec whose
-// lowered configuration passes validation.
+// lowered configuration passes validation, including the cluster
+// assembly for fleet draws.
 func TestFromWordsAlwaysValid(t *testing.T) {
 	fn := func(w [NumWords]uint64) bool {
 		sp := FromWords(w)
@@ -88,10 +108,47 @@ func TestFromWordsAlwaysValid(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return es.Cfg.Validate() == nil
+		if es.Cfg.Validate() != nil {
+			return false
+		}
+		if sp.Nodes >= 2 {
+			cl, err := cluster.New(sp.ClusterConfig(es.Cfg), nil)
+			return err == nil && cl != nil
+		}
+		return true
 	}
 	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Shrink collapses an irrelevant fleet in one move: when the failure
+// does not depend on the cluster, the minimal reproducer is single-node
+// with no dangling cluster knobs.
+func TestShrinkDropsIrrelevantFleet(t *testing.T) {
+	sp := FromWords(SeedCorpus["hedge-under-retry-storm"])
+	failed := func(s Spec) bool { return s.WireLossPM > 0 } // only the lossy wire matters
+	min := Shrink(sp, failed, 0)
+	if min.WireLossPM == 0 {
+		t.Fatal("shrink dropped the knob the failure depends on")
+	}
+	if min.Nodes != 0 || min.Hedge || min.Route != "" || min.LinkSlowAtMs != 0 ||
+		min.FabricBaseUs != 0 || min.FabricServeNs != 0 {
+		t.Fatalf("shrink left fleet knobs active: %+v", min)
+	}
+}
+
+// And the converse: when the failure needs the fleet, the cluster
+// collapse is rejected but the irrelevant fleet faults still go.
+func TestShrinkKeepsNeededFleet(t *testing.T) {
+	sp := FromWords(SeedCorpus["one-way-cut-flap-damped"])
+	failed := func(s Spec) bool { return s.Nodes >= 2 && s.PartitionAtMs > 0 }
+	min := Shrink(sp, failed, 0)
+	if min.Nodes < 2 || min.PartitionAtMs == 0 {
+		t.Fatal("shrink dropped the fleet the failure depends on")
+	}
+	if min.LinkLossAtMs != 0 || min.FlapHoldMs != 0 || min.RouteRetries != 0 {
+		t.Fatalf("shrink left irrelevant fleet knobs active: %+v", min)
 	}
 }
 

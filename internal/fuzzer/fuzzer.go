@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"nmapsim/internal/audit"
+	"nmapsim/internal/cluster"
 	"nmapsim/internal/cpu"
 	"nmapsim/internal/experiments"
 	"nmapsim/internal/faults"
@@ -86,6 +87,40 @@ type Spec struct {
 	// abort paths; a watchdog abort is an expected outcome, not a
 	// failure.
 	MaxEvents uint64 `json:"max_events,omitempty"`
+
+	// Fleet shape. Nodes == 0 keeps the single-node path; Nodes >= 2
+	// routes the spec through the cluster front end, and every field
+	// below is meaningful only then (the decoder keeps them zero
+	// otherwise, so single-node reproducers stay minimal).
+	Nodes        int    `json:"nodes,omitempty"`
+	Route        string `json:"route,omitempty"`
+	RouteRetries int    `json:"route_retries,omitempty"`
+	Hedge        bool   `json:"hedge,omitempty"`
+	FlapHoldMs   int    `json:"flap_hold_ms,omitempty"`
+
+	// Interconnect model (0/0 = free fabric, faults still route through
+	// the zero-delay fast path).
+	FabricBaseUs  int `json:"fabric_base_us,omitempty"`
+	FabricServeNs int `json:"fabric_serve_ns,omitempty"`
+
+	// Scheduled fleet faults, one per family. An AtMs of 0 disables the
+	// family. PartitionDurMs == 0 leaves the cut permanent;
+	// PartitionDir is a faults.LinkDir (0 both, 1 tx, 2 rx).
+	PartitionNode  int `json:"partition_node,omitempty"`
+	PartitionDir   int `json:"partition_dir,omitempty"`
+	PartitionAtMs  int `json:"partition_at_ms,omitempty"`
+	PartitionDurMs int `json:"partition_dur_ms,omitempty"`
+	LinkSlowNode   int `json:"linkslow_node,omitempty"`
+	LinkSlowAtMs   int `json:"linkslow_at_ms,omitempty"`
+	LinkSlowDurMs  int `json:"linkslow_dur_ms,omitempty"`
+	LinkSlowFactor int `json:"linkslow_factor,omitempty"`
+	LinkLossNode   int `json:"linkloss_node,omitempty"`
+	LinkLossAtMs   int `json:"linkloss_at_ms,omitempty"`
+	LinkLossDurMs  int `json:"linkloss_dur_ms,omitempty"`
+	LinkLossPM     int `json:"linkloss_pm,omitempty"`
+	NodeCrashNode  int `json:"nodecrash_node,omitempty"`
+	NodeCrashAtMs  int `json:"nodecrash_at_ms,omitempty"`
+	NodeCrashDurMs int `json:"nodecrash_dur_ms,omitempty"`
 }
 
 // levels and discrete knob menus the word decoder picks from. Small
@@ -103,6 +138,18 @@ var (
 	// runs still exercise the unshedded datapath.
 	crashDurs = []int{0, 0, 5, 10}
 	sheds     = []int{0, 0, 10, 40}
+	// Fleet menus. nodeCounts over-weights the single-node path (0) so
+	// most entropy still probes the core datapath; clusterRoutes cycles
+	// the routing policies; flapHolds over-weights "naive" so damping is
+	// the exercised variant, not the default; slowFactors reaches the
+	// gray extreme (50x) where hedging decides outcomes.
+	nodeCounts    = []int{0, 0, 0, 0, 0, 2, 2, 3}
+	clusterRoutes = []string{"rr", "least", "weighted", "flow"}
+	flapHolds     = []int{0, 0, 5, 10}
+	fabricBases   = []int{0, 2, 10}
+	fabricServes  = []int{0, 200, 1000}
+	slowFactors   = []int{2, 8, 50}
+	lossPMs       = []int{50, 200}
 )
 
 // FromWords decodes a raw word vector into a valid Spec. The mapping is
@@ -150,6 +197,44 @@ func FromWords(w [NumWords]uint64) Spec {
 		sp.QueueStallAtMs = at
 		sp.QueueStallQ = int(w[6] >> 16 % 8)
 		sp.QueueStallDurMs = 1 + int(w[6]>>24%10)
+	}
+	// Spare high bits fan the spec out into a fleet. Everything below is
+	// gated on a multi-node draw so single-node specs carry no dormant
+	// cluster knobs, and the watchdog stays off for fleets (the abort
+	// paths are explored by the single-node specs).
+	sp.Nodes = nodeCounts[w[2]>>8%uint64(len(nodeCounts))]
+	if sp.Nodes >= 2 {
+		n := uint64(sp.Nodes)
+		sp.Route = clusterRoutes[w[3]>>8%uint64(len(clusterRoutes))]
+		sp.RouteRetries = int(w[3] >> 16 % 3)
+		sp.Hedge = w[4]>>8&1 == 1
+		sp.FlapHoldMs = flapHolds[w[4]>>16%uint64(len(flapHolds))]
+		sp.FabricBaseUs = fabricBases[w[10]>>16%uint64(len(fabricBases))]
+		sp.FabricServeNs = fabricServes[w[10]>>24%uint64(len(fabricServes))]
+		sp.MaxEvents = 0
+		if at := int(w[5] >> 16 % 24); at > 0 {
+			sp.PartitionAtMs = at
+			sp.PartitionDir = int(w[5] >> 24 % 3)
+			sp.PartitionDurMs = int(w[5] >> 32 % 10)
+			sp.PartitionNode = int(w[5] >> 40 % n)
+		}
+		if at := int(w[7] >> 8 % 24); at > 0 {
+			sp.LinkSlowAtMs = at
+			sp.LinkSlowDurMs = 1 + int(w[7]>>16%10)
+			sp.LinkSlowFactor = slowFactors[w[7]>>24%uint64(len(slowFactors))]
+			sp.LinkSlowNode = int(w[7] >> 32 % n)
+		}
+		if at := int(w[9] >> 16 % 24); at > 0 {
+			sp.LinkLossAtMs = at
+			sp.LinkLossDurMs = 1 + int(w[9]>>24%10)
+			sp.LinkLossPM = lossPMs[w[9]>>32&1]
+			sp.LinkLossNode = int(w[9] >> 40 % n)
+		}
+		if at := int(w[11] >> 32 % 24); at > 0 {
+			sp.NodeCrashAtMs = at
+			sp.NodeCrashDurMs = crashDurs[w[11]>>40%uint64(len(crashDurs))]
+			sp.NodeCrashNode = int(w[11] >> 48 % n)
+		}
 	}
 	return sp
 }
@@ -278,6 +363,61 @@ func serverConfig(sp Spec, m *cpu.Model, p *workload.Profile, lvl workload.Level
 	return cfg
 }
 
+// ClusterConfig lowers the fleet dimensions of the Spec onto a built
+// node config: the scheduled link/node faults land in the node config's
+// fault schedule (the cluster, not the node, arms those classes) and
+// the front-end knobs land in the cluster config. Meaningful only for
+// Nodes >= 2. Indices are clamped like the per-core faults so
+// hand-edited reproducers stay runnable.
+func (sp Spec) ClusterConfig(node server.Config) cluster.Config {
+	if sp.PartitionAtMs > 0 {
+		node.Faults.Partitions = []faults.Partition{{
+			Node:     clampIndex(sp.PartitionNode, sp.Nodes),
+			Dir:      faults.LinkDir(clampIndex(sp.PartitionDir, 3)),
+			At:       sim.Duration(sp.PartitionAtMs) * sim.Millisecond,
+			Duration: sim.Duration(max(sp.PartitionDurMs, 0)) * sim.Millisecond,
+		}}
+	}
+	if sp.LinkSlowAtMs > 0 {
+		node.Faults.LinkSlows = []faults.LinkSlow{{
+			Node:     clampIndex(sp.LinkSlowNode, sp.Nodes),
+			At:       sim.Duration(sp.LinkSlowAtMs) * sim.Millisecond,
+			Duration: sim.Duration(max(sp.LinkSlowDurMs, 1)) * sim.Millisecond,
+			Factor:   float64(max(sp.LinkSlowFactor, 2)),
+		}}
+	}
+	if sp.LinkLossAtMs > 0 {
+		node.Faults.LinkLosses = []faults.LinkLoss{{
+			Node:     clampIndex(sp.LinkLossNode, sp.Nodes),
+			At:       sim.Duration(sp.LinkLossAtMs) * sim.Millisecond,
+			Duration: sim.Duration(max(sp.LinkLossDurMs, 1)) * sim.Millisecond,
+			Prob:     float64(min(max(sp.LinkLossPM, 1), 999)) / 1000,
+		}}
+	}
+	if sp.NodeCrashAtMs > 0 {
+		node.Faults.NodeCrashes = []faults.NodeCrash{{
+			Node:     clampIndex(sp.NodeCrashNode, sp.Nodes),
+			At:       sim.Duration(sp.NodeCrashAtMs) * sim.Millisecond,
+			Duration: sim.Duration(max(sp.NodeCrashDurMs, 0)) * sim.Millisecond,
+		}}
+	}
+	ccfg := cluster.Config{
+		Nodes:        sp.Nodes,
+		Route:        sp.Route,
+		RouteRetries: sp.RouteRetries,
+		Node:         node,
+		Health:       cluster.HealthConfig{FlapHold: sim.Duration(sp.FlapHoldMs) * sim.Millisecond},
+		Fabric: cluster.FabricConfig{
+			Base:  sim.Duration(sp.FabricBaseUs) * sim.Microsecond,
+			Serve: sim.Duration(sp.FabricServeNs) * sim.Nanosecond,
+		},
+	}
+	if sp.Hedge {
+		ccfg.Hedge = cluster.HedgeConfig{Enabled: true}
+	}
+	return ccfg
+}
+
 // clampIndex folds a possibly hand-edited index into [0, n) (the word
 // decoder already keeps it small; reproducer files may not).
 func clampIndex(i, n int) int {
@@ -304,8 +444,14 @@ type Outcome struct {
 // assembly failure (as opposed to clean or watchdog-aborted).
 func (o Outcome) Failed() bool { return o.Err != nil }
 
-// Check builds and runs one Spec under the auditor.
+// Check builds and runs one Spec under the auditor. Fleet specs
+// (Nodes >= 2) run the whole cluster — front end, fabric, health
+// prober, hedger — under the merged per-node + cluster-conservation
+// audit; the rest keep the single-server path.
 func Check(sp Spec) Outcome {
+	if sp.Nodes >= 2 {
+		return checkCluster(sp)
+	}
 	es, err := sp.Experiment()
 	if err != nil {
 		return Outcome{Err: err}
@@ -332,9 +478,75 @@ func Check(sp Spec) Outcome {
 	return out
 }
 
+// checkCluster runs a fleet spec under the cluster front end with the
+// merged audit. Audit violations surface from cluster.Run itself.
+func checkCluster(sp Spec) Outcome {
+	es, err := sp.Experiment()
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	cl, err := cluster.New(sp.ClusterConfig(es.Cfg), func(_ int, ncfg server.Config, eng *sim.Engine) (*server.Server, error) {
+		nes := es
+		nes.Cfg = ncfg
+		return experiments.BuildOn(nes, eng)
+	})
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	res, err := cl.Run(nil)
+	out := Outcome{Report: res.Audit}
+	if errors.Is(err, sim.ErrWatchdog) {
+		out.Aborted = true
+		err = res.Audit.Err()
+	}
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	if res.Audit == nil {
+		out.Err = errors.New("fuzzer: audited fleet run produced no audit report")
+	}
+	return out
+}
+
 // shrinkMoves are the simplification steps Shrink tries, most aggressive
 // first. Each returns a strictly simpler candidate (or no change).
 var shrinkMoves = []func(Spec) Spec{
+	// Collapsing the fleet to a single node is the most aggressive move:
+	// when the failure survives it, every cluster knob goes at once.
+	dropCluster,
+	func(s Spec) Spec {
+		s.PartitionAtMs = 0
+		s.PartitionNode = 0
+		s.PartitionDir = 0
+		s.PartitionDurMs = 0
+		return s
+	},
+	func(s Spec) Spec {
+		s.LinkSlowAtMs = 0
+		s.LinkSlowNode = 0
+		s.LinkSlowDurMs = 0
+		s.LinkSlowFactor = 0
+		return s
+	},
+	func(s Spec) Spec {
+		s.LinkLossAtMs = 0
+		s.LinkLossNode = 0
+		s.LinkLossDurMs = 0
+		s.LinkLossPM = 0
+		return s
+	},
+	func(s Spec) Spec { s.NodeCrashAtMs = 0; s.NodeCrashNode = 0; s.NodeCrashDurMs = 0; return s },
+	func(s Spec) Spec { s.Hedge = false; return s },
+	func(s Spec) Spec { s.FlapHoldMs = 0; return s },
+	func(s Spec) Spec { s.FabricBaseUs = 0; s.FabricServeNs = 0; return s },
+	func(s Spec) Spec { s.RouteRetries = 0; return s },
+	func(s Spec) Spec {
+		if s.Nodes >= 2 {
+			s.Route = "rr"
+		}
+		return s
+	},
 	func(s Spec) Spec { s.WireLossPM = 0; return s },
 	func(s Spec) Spec { s.IRQLossPM = 0; return s },
 	func(s Spec) Spec { s.ThrottleRate = 0; s.ThrottlePS = 0; return s },
@@ -362,6 +574,18 @@ var shrinkMoves = []func(Spec) Spec{
 		}
 		return s
 	},
+}
+
+// dropCluster zeroes every fleet dimension, returning the spec to the
+// single-node path with no dangling cluster knobs.
+func dropCluster(s Spec) Spec {
+	s.Nodes, s.Route, s.RouteRetries, s.Hedge, s.FlapHoldMs = 0, "", 0, false, 0
+	s.FabricBaseUs, s.FabricServeNs = 0, 0
+	s.PartitionNode, s.PartitionDir, s.PartitionAtMs, s.PartitionDurMs = 0, 0, 0, 0
+	s.LinkSlowNode, s.LinkSlowAtMs, s.LinkSlowDurMs, s.LinkSlowFactor = 0, 0, 0, 0
+	s.LinkLossNode, s.LinkLossAtMs, s.LinkLossDurMs, s.LinkLossPM = 0, 0, 0, 0
+	s.NodeCrashNode, s.NodeCrashAtMs, s.NodeCrashDurMs = 0, 0, 0
+	return s
 }
 
 // Shrink greedily minimises a failing Spec: each simplification move is

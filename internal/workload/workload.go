@@ -25,6 +25,12 @@ type Request struct {
 	AppCycles float64
 	// Done is when the client received the response (0 while in flight).
 	Done sim.Time
+	// Dispatched is when the cluster front end last dispatched a copy of
+	// this request toward a node — stamped per attempt (fresh issue,
+	// resteer, hedge), so per-attempt fabric latency is land−Dispatched
+	// while Sent keeps the front-end latency definition spanning every
+	// attempt. Zero outside a cluster run.
+	Dispatched sim.Time
 
 	// Client-side recovery state (used only when the server's retry
 	// loop is enabled; all zero on the fault-free fast path).
